@@ -1,0 +1,30 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper table or figure it
+regenerates (captured with ``pytest -s`` or in the benchmark output), and uses
+``pytest-benchmark`` to time the underlying computation.  Set
+``REPRO_FULL_SCALE=1`` to run the accuracy benchmarks at the paper's full
+64×64 / 300-cycle configuration (slow); the default is a reduced configuration
+whose qualitative conclusions match.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale (slow) configurations."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@pytest.fixture
+def report():
+    """Print a small table of reproduced rows (visible with ``-s`` / in CI logs)."""
+
+    def _print(title: str, rows):
+        print(f"\n=== {title} ===")
+        for row in rows:
+            print("   ", row)
+
+    return _print

@@ -1,0 +1,50 @@
+"""Fig. 10 — weak scaling of the EnSF up to 1024 GPUs for three state dimensions.
+
+The per-rank EnSF cost is *measured* on this machine (a real EnSF analysis at
+a laptop-feasible dimension) and extended to 1024 ranks with the
+ensemble-parallel cost model; weak scaling must stay essentially flat because
+the update is embarrassingly parallel over ensemble members (§III-A3).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import full_scale
+from repro.hpc.scaling import weak_scaling_ensf
+
+GPU_COUNTS = [1, 8, 64, 256, 1024]
+
+
+def test_fig10_ensf_weak_scaling(benchmark, report):
+    dimensions = [1.0e6, 1.0e7, 1.0e8] if full_scale() else [1.0e5, 1.0e6, 1.0e7]
+    measured_dim = 200_000 if full_scale() else 50_000
+
+    points = benchmark.pedantic(
+        lambda: weak_scaling_ensf(
+            dimensions=dimensions,
+            gpu_counts=GPU_COUNTS,
+            ensemble_size=20,
+            n_sde_steps=20,
+            measured_dimension=measured_dim,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        {
+            "dim_per_rank": f"{p.dimension_per_rank:.0e}",
+            "gpus": p.n_gpus,
+            "time_per_step_s": round(p.time_per_step, 3),
+        }
+        for p in points
+    ]
+    report("Fig. 10: EnSF weak scaling (time per analysis step)", rows)
+
+    for dim in dimensions:
+        times = {p.n_gpus: p.time_per_step for p in points if p.dimension_per_rank == dim}
+        # Flat weak scaling: going from 1 to 1024 ranks costs < 20 % extra.
+        assert times[1024] <= 1.2 * times[1]
+    # Cost grows roughly linearly with the per-rank dimension (×10 per decade).
+    t_small = [p.time_per_step for p in points if p.dimension_per_rank == dimensions[0]][0]
+    t_large = [p.time_per_step for p in points if p.dimension_per_rank == dimensions[-1]][0]
+    assert t_large / t_small > 20.0

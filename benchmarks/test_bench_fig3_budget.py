@@ -1,0 +1,35 @@
+"""Fig. 3 — training FLOPs and Frontier node-hours for the Table II ViT sizes (Eq. 18)."""
+
+from repro.surrogate.flops import frontier_node_hours, vit_parameter_count, vit_training_flops
+from repro.surrogate.presets import TABLE_II_PRESETS
+
+
+def test_fig3_computational_budget(benchmark, report):
+    def compute():
+        rows = []
+        for size, cfg in TABLE_II_PRESETS.items():
+            flops = vit_training_flops(cfg, n_images=1.0e6, epochs=100)
+            rows.append(
+                {
+                    "input": f"{size}^2",
+                    "params": vit_parameter_count(cfg),
+                    "training_flops": flops,
+                    "frontier_node_hours": frontier_node_hours(flops),
+                }
+            )
+        return rows
+
+    rows = benchmark(compute)
+    report("Fig. 3: ViT training budget (1M images, 100 epochs)", rows)
+
+    by_size = {r["input"]: r for r in rows}
+    # FLOPs and node-hours must grow strongly with model/input size: the
+    # 256² / 2.5B configuration needs two orders of magnitude more compute
+    # than the 64² / 157M configuration (tokens ×16, parameters ×16).
+    ratio = by_size["256^2"]["training_flops"] / by_size["64^2"]["training_flops"]
+    assert 100 <= ratio <= 1000
+    assert by_size["256^2"]["frontier_node_hours"] > by_size["128^2"]["frontier_node_hours"]
+    # Order-of-magnitude sanity: the largest model needs at least thousands of
+    # node-hours, which is the paper's argument for why online training is an
+    # HPC problem.
+    assert by_size["256^2"]["frontier_node_hours"] > 1.0e3

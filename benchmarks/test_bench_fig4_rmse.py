@@ -1,0 +1,42 @@
+"""Fig. 4 — RMSE time series of SQG-only / ViT-only / SQG+LETKF / ViT+EnSF.
+
+The default configuration is a reduced 32×32 / 20-cycle run (about half a
+minute); set ``REPRO_FULL_SCALE=1`` for the paper's 64×64 / 300-cycle setup.
+The assertions encode the paper's qualitative conclusions: free runs diverge,
+LETKF is degraded by the unknown model error, and the proposed ViT+EnSF stays
+accurate and stable throughout.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import full_scale
+from repro.workflow.config import ExperimentConfig
+from repro.workflow.experiments import run_four_experiments
+
+
+def _config() -> ExperimentConfig:
+    if full_scale():
+        return ExperimentConfig.paper_scale()
+    return ExperimentConfig()
+
+
+def test_fig4_four_way_rmse(benchmark, report):
+    comparison = benchmark.pedantic(
+        lambda: run_four_experiments(_config()), rounds=1, iterations=1
+    )
+    rows = comparison.summary_rows()
+    report("Fig. 4: analysis RMSE of the four experiments", rows)
+
+    rmse = comparison.mean_rmse()
+    final = comparison.final_rmse()
+    # 1. Data assimilation is necessary: both DA systems beat both free runs.
+    assert rmse["ViT+EnSF"] < min(rmse["SQG only"], rmse["ViT only"])
+    assert rmse["SQG+LETKF"] < min(rmse["SQG only"], rmse["ViT only"])
+    # 2. The proposed ViT+EnSF outperforms the SOTA SQG+LETKF baseline.
+    assert rmse["ViT+EnSF"] < rmse["SQG+LETKF"]
+    # 3. LETKF degrades as model error accumulates while EnSF stays stable:
+    #    by the end of the experiment the gap has widened.
+    assert final["ViT+EnSF"] < final["SQG+LETKF"]
+    # 4. Free-run errors grow with time (chaotic error growth).
+    sqg_only = comparison.results["SQG only"].analysis_rmse
+    assert sqg_only[-1] > 1.5 * np.mean(sqg_only[: max(2, len(sqg_only) // 4)])

@@ -1,0 +1,39 @@
+"""Fig. 7 — runtime breakdown (compute / communication / IO) at 1024 GPUs."""
+
+from repro.hpc.trainer_sim import DistributedTrainingSimulator, TrainingRunConfig
+from repro.hpc.zero import ZeROParallel
+from repro.surrogate.presets import TABLE_II_PRESETS
+
+
+def test_fig7_runtime_breakdown(benchmark, report):
+    simulator = DistributedTrainingSimulator()
+
+    def compute():
+        rows = []
+        for size, cfg in TABLE_II_PRESETS.items():
+            run = TrainingRunConfig(vit=cfg, n_gpus=1024)
+            breakdown = simulator.step_breakdown(run, ZeROParallel(1))
+            fractions = breakdown.fractions()
+            rows.append(
+                {
+                    "input": f"{size}^2",
+                    "compute_pct": round(100 * fractions["compute"], 1),
+                    "communication_pct": round(100 * fractions["communication"], 1),
+                    "io_pct": round(100 * fractions["io"], 1),
+                    "step_seconds": round(breakdown.total, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark(compute)
+    report("Fig. 7: runtime percentage at 1024 GPUs (DeepSpeed ZeRO-1)", rows)
+
+    by_size = {r["input"]: r for r in rows}
+    # Training is dominated by computation + communication with negligible IO.
+    for row in rows:
+        assert row["io_pct"] < 15.0
+        assert row["compute_pct"] + row["communication_pct"] > 80.0
+    # 64² has a larger communication share than 128² despite the smaller model
+    # (§IV-B(a)), and 256²'s doubled message volume raises its share again.
+    assert by_size["64^2"]["communication_pct"] > by_size["128^2"]["communication_pct"]
+    assert by_size["256^2"]["communication_pct"] > by_size["128^2"]["communication_pct"]

@@ -1,0 +1,45 @@
+"""Fig. 8 — RCCL collective bus bandwidth vs. message size and GPU count."""
+
+import numpy as np
+
+from repro.hpc.collectives import CollectiveKind, CollectiveModel
+
+MB = 2.0**20
+MESSAGE_SIZES = np.array([4, 16, 64, 128, 256, 512, 1024]) * MB
+GPU_COUNTS = [8, 64, 512, 1024]
+
+
+def test_fig8_collective_bandwidth(benchmark, report):
+    model = CollectiveModel()
+
+    def compute():
+        series = {}
+        for n in GPU_COUNTS:
+            for kind in (CollectiveKind.ALL_REDUCE, CollectiveKind.ALL_GATHER, CollectiveKind.REDUCE_SCATTER):
+                series[(n, kind.value)] = model.sweep(kind, MESSAGE_SIZES, n)
+        return series
+
+    series = benchmark(compute)
+    rows = []
+    for (n, kind), values in series.items():
+        rows.append({"gpus": n, "collective": kind, "busbw_gbs": [round(v, 1) for v in values]})
+    report("Fig. 8: collective bus bandwidth (message sizes 4MB..1GB)", rows)
+
+    ar_1024 = series[(1024, "all_reduce")]
+    ag_1024 = series[(1024, "all_gather")]
+    rs_1024 = series[(1024, "reduce_scatter")]
+    idx64 = list(MESSAGE_SIZES / MB).index(64)
+    idx256 = list(MESSAGE_SIZES / MB).index(256)
+    idx1024 = list(MESSAGE_SIZES / MB).index(1024)
+
+    # AllReduce significantly outperforms the other two at 64 MB at scale.
+    assert ar_1024[idx64] > 1.2 * ag_1024[idx64]
+    # AllGather and ReduceScatter behave almost identically everywhere.
+    assert np.allclose(ag_1024, rs_1024, rtol=1e-6)
+    # Bandwidth improves with message size for the gather-style collectives.
+    assert ag_1024[idx1024] > ag_1024[0]
+    # The AllReduce dip around 256 MB.
+    assert ar_1024[idx256] < ar_1024[idx64]
+    assert ar_1024[idx256] < ar_1024[idx1024]
+    # For large messages all three collectives perform similarly (within ~25%).
+    assert abs(ar_1024[idx1024] - ag_1024[idx1024]) / ag_1024[idx1024] < 0.25

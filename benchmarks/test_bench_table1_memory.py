@@ -1,0 +1,36 @@
+"""Table I — FSDP ↔ ZeRO memory-partitioning taxonomy and per-GPU footprints."""
+
+from repro.hpc.memory import STRATEGY_TABLE, ShardingStrategy, TrainingMemoryModel
+from repro.surrogate.flops import vit_parameter_count
+from repro.surrogate.presets import TABLE_II_PRESETS
+
+
+def test_table1_strategy_memory(benchmark, report):
+    model = TrainingMemoryModel()
+    params = vit_parameter_count(TABLE_II_PRESETS[256])
+
+    def compute():
+        rows = []
+        for strategy in ShardingStrategy:
+            info = STRATEGY_TABLE[strategy]
+            rows.append(
+                {
+                    "strategy": strategy.value,
+                    "shards": sorted(info["shards"]),
+                    "zero_equivalent": getattr(info["zero_equivalent"], "value", None),
+                    "per_gpu_gb_at_64": round(model.per_gpu_bytes(params, strategy, 64) / 2**30, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(compute)
+    report("Table I: memory partitioning strategies (2.5B-parameter ViT, 64 GPUs)", rows)
+    by_name = {r["strategy"]: r for r in rows}
+    # Table I correspondences and the expected memory ordering.
+    assert by_name["fsdp_shard_grad_op"]["zero_equivalent"] == "zero_stage2"
+    assert by_name["fsdp_full_shard"]["zero_equivalent"] == "zero_stage3"
+    assert (
+        by_name["ddp"]["per_gpu_gb_at_64"]
+        > by_name["zero_stage1"]["per_gpu_gb_at_64"]
+        > by_name["zero_stage3"]["per_gpu_gb_at_64"]
+    )

@@ -1,0 +1,29 @@
+"""Table II — SQG-ViT architectures and their parameter counts."""
+
+from repro.surrogate.flops import vit_parameter_count
+from repro.surrogate.presets import TABLE_II_PRESETS, TABLE_II_REPORTED_PARAMS
+
+
+def test_table2_architectures(benchmark, report):
+    def compute():
+        rows = []
+        for size, cfg in TABLE_II_PRESETS.items():
+            rows.append(
+                {
+                    "input": f"{size}^2",
+                    "patch": cfg.patch_size,
+                    "layers": cfg.depth,
+                    "heads": cfg.num_heads,
+                    "embed_dim": cfg.embed_dim,
+                    "mlp_ratio": cfg.mlp_ratio,
+                    "params": vit_parameter_count(cfg),
+                    "paper_params": TABLE_II_REPORTED_PARAMS[size],
+                }
+            )
+        return rows
+
+    rows = benchmark(compute)
+    report("Table II: ViT surrogate architectures", rows)
+    for row in rows:
+        relative_error = abs(row["params"] - row["paper_params"]) / row["paper_params"]
+        assert relative_error < 0.08, row

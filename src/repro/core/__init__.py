@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the Ensemble Score Filter (EnSF).
+
+Submodules
+----------
+``schedules``
+    Diffusion drift/diffusion coefficient schedules (Eq. 9).
+``score``
+    Training-free Monte-Carlo estimator of the prior score (Eqs. 13–16).
+``likelihood``
+    Analytic Gaussian likelihood score and the damping function ``h(t)``.
+``sde``
+    Euler–Maruyama integrator of the reverse-time SDE (Eq. 7).
+``ensf``
+    The :class:`EnSF` filter combining the above (predict/update API).
+``observations``
+    Observation operators shared by all filters (Eq. 2).
+``filters``
+    Common filter API and ensemble post-processing (spread relaxation).
+"""
+
+from repro.core.schedules import LinearAlphaSchedule, DiffusionSchedule
+from repro.core.score import MonteCarloScoreEstimator
+from repro.core.likelihood import GaussianLikelihoodScore, LinearDamping, CosineDamping, ConstantDamping
+from repro.core.sde import ReverseSDESampler
+from repro.core.observations import (
+    ObservationOperator,
+    IdentityObservation,
+    LinearObservation,
+    SubsampledObservation,
+    NonlinearObservation,
+)
+from repro.core.filters import EnsembleFilter, relax_spread, ensemble_statistics
+from repro.core.ensf import EnSF, EnSFConfig
+
+__all__ = [
+    "LinearAlphaSchedule",
+    "DiffusionSchedule",
+    "MonteCarloScoreEstimator",
+    "GaussianLikelihoodScore",
+    "LinearDamping",
+    "CosineDamping",
+    "ConstantDamping",
+    "ReverseSDESampler",
+    "ObservationOperator",
+    "IdentityObservation",
+    "LinearObservation",
+    "SubsampledObservation",
+    "NonlinearObservation",
+    "EnsembleFilter",
+    "relax_spread",
+    "ensemble_statistics",
+    "EnSF",
+    "EnSFConfig",
+]

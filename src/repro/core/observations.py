@@ -1,0 +1,195 @@
+"""Observation operators and observation-error models (Eq. 2).
+
+All filters in this library (EnSF, LETKF, EnKF) interact with observations
+through :class:`ObservationOperator`, which bundles the forward map
+``h_k(x)``, its adjoint action (needed by the EnSF likelihood score and by
+the Kalman-gain algebra), and the Gaussian observation-error covariance
+``R_k`` (assumed diagonal, as in the paper where ``R = I``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.random import default_rng
+
+__all__ = [
+    "ObservationOperator",
+    "IdentityObservation",
+    "LinearObservation",
+    "SubsampledObservation",
+    "NonlinearObservation",
+]
+
+
+class ObservationOperator(ABC):
+    """Abstract observation model ``y = h(x) + ε``, ``ε ∼ N(0, R)`` with diagonal ``R``."""
+
+    def __init__(self, state_dim: int, obs_dim: int, obs_error_var: float | np.ndarray = 1.0):
+        if state_dim <= 0 or obs_dim <= 0:
+            raise ValueError("state_dim and obs_dim must be positive")
+        self.state_dim = int(state_dim)
+        self.obs_dim = int(obs_dim)
+        var = np.asarray(obs_error_var, dtype=float)
+        if var.ndim == 0:
+            var = np.full(self.obs_dim, float(var))
+        if var.shape != (self.obs_dim,):
+            raise ValueError("obs_error_var must be a scalar or a vector of length obs_dim")
+        if np.any(var <= 0):
+            raise ValueError("observation error variances must be positive")
+        self.obs_error_var = var
+
+    # -- forward / adjoint ------------------------------------------------ #
+    @abstractmethod
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        """Map state(s) ``(..., state_dim)`` to observation space ``(..., obs_dim)``."""
+
+    @abstractmethod
+    def adjoint(self, obs_vector: np.ndarray, state: np.ndarray | None = None) -> np.ndarray:
+        """Apply ``H(x)ᵀ`` (the Jacobian transpose at ``state``) to ``obs_vector``.
+
+        For linear operators the Jacobian is state-independent and ``state``
+        is ignored.
+        """
+
+    # -- derived quantities ------------------------------------------------ #
+    def innovation(self, state: np.ndarray, observation: np.ndarray) -> np.ndarray:
+        """``y − h(x)`` broadcast over leading state axes."""
+        return np.asarray(observation, dtype=float) - self.apply(state)
+
+    def log_likelihood_score(self, state: np.ndarray, observation: np.ndarray) -> np.ndarray:
+        """``∇_x log p(y | x) = H(x)ᵀ R⁻¹ (y − h(x))`` (gradient of Eq. 5)."""
+        innov = self.innovation(state, observation) / self.obs_error_var
+        return self.adjoint(innov, state=state)
+
+    def log_likelihood(self, state: np.ndarray, observation: np.ndarray) -> np.ndarray:
+        """Log of Eq. 5 up to an additive constant (per state in the batch)."""
+        innov = self.innovation(state, observation)
+        return -0.5 * np.sum(innov**2 / self.obs_error_var, axis=-1)
+
+    def sample_noise(self, rng: np.random.Generator | int | None = None, size: int | None = None) -> np.ndarray:
+        """Draw observation-error realisations ``ε ∼ N(0, R)``."""
+        rng = default_rng(rng)
+        shape = (self.obs_dim,) if size is None else (size, self.obs_dim)
+        return rng.standard_normal(shape) * np.sqrt(self.obs_error_var)
+
+    def observe(self, true_state: np.ndarray, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Generate a synthetic observation of ``true_state`` (OSSE, §IV-A)."""
+        return self.apply(true_state) + self.sample_noise(rng=rng)
+
+
+class IdentityObservation(ObservationOperator):
+    """Fully observed state, ``h(x) = x`` — the paper's accuracy-test setting."""
+
+    def __init__(self, state_dim: int, obs_error_var: float | np.ndarray = 1.0):
+        super().__init__(state_dim, state_dim, obs_error_var)
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        return np.asarray(state, dtype=float)
+
+    def adjoint(self, obs_vector: np.ndarray, state: np.ndarray | None = None) -> np.ndarray:
+        return np.asarray(obs_vector, dtype=float)
+
+
+class LinearObservation(ObservationOperator):
+    """General linear operator ``h(x) = H x`` for a dense matrix ``H``."""
+
+    def __init__(self, matrix: np.ndarray, obs_error_var: float | np.ndarray = 1.0):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("observation matrix must be 2-D")
+        super().__init__(matrix.shape[1], matrix.shape[0], obs_error_var)
+        self.matrix = matrix
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        return np.asarray(state, dtype=float) @ self.matrix.T
+
+    def adjoint(self, obs_vector: np.ndarray, state: np.ndarray | None = None) -> np.ndarray:
+        return np.asarray(obs_vector, dtype=float) @ self.matrix
+
+
+class SubsampledObservation(ObservationOperator):
+    """Observe a subset of state components, ``h(x) = x[indices]``.
+
+    A memory-efficient special case of :class:`LinearObservation` used for
+    partially-observed experiments (e.g. observing every n-th grid column).
+    """
+
+    def __init__(self, state_dim: int, indices: np.ndarray, obs_error_var: float | np.ndarray = 1.0):
+        indices = np.asarray(indices, dtype=int)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ValueError("indices must be a non-empty 1-D integer array")
+        if indices.min() < 0 or indices.max() >= state_dim:
+            raise ValueError("observation indices out of range")
+        super().__init__(state_dim, indices.size, obs_error_var)
+        self.indices = indices
+
+    @classmethod
+    def every_nth(cls, state_dim: int, stride: int, obs_error_var: float | np.ndarray = 1.0):
+        """Observe every ``stride``-th state variable."""
+        return cls(state_dim, np.arange(0, state_dim, stride), obs_error_var)
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        return np.asarray(state, dtype=float)[..., self.indices]
+
+    def adjoint(self, obs_vector: np.ndarray, state: np.ndarray | None = None) -> np.ndarray:
+        obs_vector = np.asarray(obs_vector, dtype=float)
+        out = np.zeros(obs_vector.shape[:-1] + (self.state_dim,), dtype=float)
+        out[..., self.indices] = obs_vector
+        return out
+
+
+class NonlinearObservation(ObservationOperator):
+    """Componentwise nonlinear operator ``h(x) = g(x[indices])``.
+
+    The EnSF literature demonstrates the filter on highly nonlinear operators
+    such as ``arctan`` and cubic observations; this class provides those and
+    the exact Jacobian needed for the likelihood score.
+    """
+
+    SUPPORTED = ("arctan", "cubic", "abs")
+
+    def __init__(
+        self,
+        state_dim: int,
+        kind: str = "arctan",
+        indices: np.ndarray | None = None,
+        obs_error_var: float | np.ndarray = 1.0,
+    ):
+        if kind not in self.SUPPORTED:
+            raise ValueError(f"unsupported nonlinear observation kind {kind!r}")
+        if indices is None:
+            indices = np.arange(state_dim)
+        indices = np.asarray(indices, dtype=int)
+        super().__init__(state_dim, indices.size, obs_error_var)
+        self.kind = kind
+        self.indices = indices
+
+    def _g(self, x: np.ndarray) -> np.ndarray:
+        if self.kind == "arctan":
+            return np.arctan(x)
+        if self.kind == "cubic":
+            return x**3
+        return np.abs(x)
+
+    def _gprime(self, x: np.ndarray) -> np.ndarray:
+        if self.kind == "arctan":
+            return 1.0 / (1.0 + x**2)
+        if self.kind == "cubic":
+            return 3.0 * x**2
+        return np.sign(x)
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        return self._g(np.asarray(state, dtype=float)[..., self.indices])
+
+    def adjoint(self, obs_vector: np.ndarray, state: np.ndarray | None = None) -> np.ndarray:
+        if state is None:
+            raise ValueError("nonlinear adjoint requires the linearisation state")
+        state = np.asarray(state, dtype=float)
+        obs_vector = np.asarray(obs_vector, dtype=float)
+        jac_diag = self._gprime(state[..., self.indices])
+        out = np.zeros(np.broadcast_shapes(state.shape[:-1], obs_vector.shape[:-1]) + (self.state_dim,))
+        out[..., self.indices] = jac_diag * obs_vector
+        return out

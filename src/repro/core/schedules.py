@@ -1,0 +1,113 @@
+"""Diffusion schedules for the score-based filter.
+
+The forward SDE (Eq. 6) ``dZ_t = b(t) Z_t dt + σ(t) dW_t`` transports the
+target (filtering) distribution at pseudo-time ``t = 0`` to a standard
+Gaussian at ``t = T = 1``.  The paper (Eq. 9) chooses
+
+``b(t) = d log α_t / dt``   and   ``σ²(t) = dβ²_t/dt − 2 (d log α_t/dt) β²_t``
+
+with ``α_t = 1 − t`` and ``β_t = √t``.  Under this schedule the conditional
+transition is Gaussian, ``Z_t | Z_0 ∼ N(α_t Z_0, β²_t I)`` (Eq. 12), which is
+what makes the training-free Monte-Carlo score estimate possible.
+
+For numerical robustness we follow the reference EnSF implementation and use
+``α_t = 1 − t (1 − ε_α)`` with a small floor ``ε_α`` so that the drift and
+diffusion stay finite at ``t = 1``.  Setting ``ε_α = 0`` recovers the paper's
+exact schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["DiffusionSchedule", "LinearAlphaSchedule"]
+
+
+@runtime_checkable
+class DiffusionSchedule(Protocol):
+    """Protocol for diffusion schedules on the pseudo-time interval [0, 1]."""
+
+    def alpha(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Conditional mean scaling ``α_t``."""
+        ...
+
+    def beta_sq(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Conditional variance ``β²_t``."""
+        ...
+
+    def drift_coeff(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Drift coefficient ``b(t) = d log α_t / dt``."""
+        ...
+
+    def diffusion_sq(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Squared diffusion coefficient ``σ²(t)``."""
+        ...
+
+
+@dataclass(frozen=True)
+class LinearAlphaSchedule:
+    """The paper's schedule ``α_t = 1 − t (1 − ε_α)``, ``β²_t = t``.
+
+    Parameters
+    ----------
+    eps_alpha:
+        Floor applied to ``α_t`` at ``t = 1``; keeps the reverse-SDE drift
+        finite.  The reference EnSF implementation uses 0.05.
+    eps_beta:
+        Floor applied to ``β²_t`` at ``t = 0``; avoids division by zero in the
+        score estimator at the final reverse step.
+    """
+
+    eps_alpha: float = 0.05
+    eps_beta: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.eps_alpha < 1.0:
+            raise ValueError("eps_alpha must lie in [0, 1)")
+        if self.eps_beta <= 0.0:
+            raise ValueError("eps_beta must be positive")
+
+    def alpha(self, t):
+        """``α_t = 1 − t (1 − ε_α)`` — decreases from 1 to ``ε_α``."""
+        return 1.0 - np.asarray(t, dtype=float) * (1.0 - self.eps_alpha)
+
+    def beta_sq(self, t):
+        """``β²_t = max(t, ε_β)`` — increases from ~0 to 1."""
+        return np.maximum(np.asarray(t, dtype=float), self.eps_beta)
+
+    def dalpha_dt(self, t):
+        """``dα_t/dt`` (constant for the linear schedule)."""
+        t = np.asarray(t, dtype=float)
+        return np.full_like(t, -(1.0 - self.eps_alpha))
+
+    def dbeta_sq_dt(self, t):
+        """``dβ²_t/dt`` (constant, equal to 1)."""
+        t = np.asarray(t, dtype=float)
+        return np.ones_like(t)
+
+    def drift_coeff(self, t):
+        """``b(t) = d log α_t / dt = α̇_t / α_t`` (Eq. 9, first relation)."""
+        return self.dalpha_dt(t) / self.alpha(t)
+
+    def diffusion_sq(self, t):
+        """``σ²(t) = dβ²_t/dt − 2 b(t) β²_t`` (Eq. 9, second relation)."""
+        return self.dbeta_sq_dt(t) - 2.0 * self.drift_coeff(t) * self.beta_sq(t)
+
+    def diffusion(self, t):
+        """``σ(t)`` — the reverse-SDE noise amplitude."""
+        return np.sqrt(self.diffusion_sq(t))
+
+    def time_grid(self, n_steps: int, t_end: float = 1.0, t_start: float = 0.0) -> np.ndarray:
+        """Uniform pseudo-time grid from ``t_end`` down to ``t_start``.
+
+        The reverse SDE is integrated backwards, so the grid is returned in
+        decreasing order with ``n_steps + 1`` points.
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be at least 1")
+        if not 0.0 <= t_start < t_end <= 1.0:
+            raise ValueError("require 0 <= t_start < t_end <= 1")
+        return np.linspace(t_end, t_start, n_steps + 1)

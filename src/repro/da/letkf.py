@@ -1,0 +1,177 @@
+"""Local Ensemble Transform Kalman Filter (LETKF).
+
+This is the state-of-the-art baseline the paper compares against (Hunt,
+Kostelich & Szunyogh 2007).  The analysis is computed independently in local
+regions surrounding each horizontal grid column — the embarrassingly parallel
+structure that makes LETKF the operational choice (e.g. the German KENDA
+system) — with:
+
+* Gaspari–Cohn **R-localization**: observation-error variances are inflated
+  with distance so remote observations lose influence smoothly;
+* **RTPS inflation** (relaxation to prior spread) applied after the update;
+* optional prior multiplicative inflation.
+
+For the two-boundary SQG state both vertical levels of a column are updated
+with the same local weights (the paper couples horizontal and vertical
+localization through the Rossby radius; with only two boundary levels this
+reduces to whole-column updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.filters import EnsembleFilter
+from repro.core.observations import (
+    IdentityObservation,
+    ObservationOperator,
+    SubsampledObservation,
+)
+from repro.da.inflation import multiplicative_inflation, rtps_inflation
+from repro.da.localization import LocalizationConfig, gaspari_cohn
+from repro.utils.grid import Grid2D, periodic_distance_matrix
+
+__all__ = ["LETKFConfig", "LETKF"]
+
+
+@dataclass(frozen=True)
+class LETKFConfig:
+    """LETKF tuning parameters.
+
+    The defaults are the paper's optimally tuned values for the SQG testbed:
+    RTPS factor 0.3 and a 2000 km localization cut-off.
+    """
+
+    localization: LocalizationConfig = field(default_factory=lambda: LocalizationConfig(cutoff=2.0e6))
+    rtps_factor: float = 0.3
+    prior_inflation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rtps_factor <= 1.0:
+            raise ValueError("rtps_factor must lie in [0, 1]")
+        if self.prior_inflation < 1.0:
+            raise ValueError("prior multiplicative inflation must be >= 1")
+
+
+class LETKF(EnsembleFilter):
+    """LETKF analysis on a doubly-periodic grid.
+
+    Parameters
+    ----------
+    grid:
+        Physical grid describing the state layout ``(nlev, ny, nx)``; used to
+        compute periodic distances for localization.
+    config:
+        Tuning parameters (localization radius, inflation factors).
+    obs_columns:
+        Optional explicit mapping from observation index to horizontal column
+        index.  When omitted it is derived automatically for identity and
+        subsampled observation operators.
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        config: LETKFConfig | None = None,
+        obs_columns: np.ndarray | None = None,
+    ) -> None:
+        self.grid = grid
+        self.config = config or LETKFConfig()
+        self._obs_columns = None if obs_columns is None else np.asarray(obs_columns, dtype=int)
+
+    # ------------------------------------------------------------------ #
+    def _resolve_obs_columns(self, operator: ObservationOperator) -> np.ndarray:
+        """Horizontal column index of every observation."""
+        if self._obs_columns is not None:
+            if self._obs_columns.shape != (operator.obs_dim,):
+                raise ValueError("obs_columns length does not match operator.obs_dim")
+            return self._obs_columns
+        if isinstance(operator, IdentityObservation):
+            return self.grid.column_index(np.arange(operator.obs_dim))
+        if isinstance(operator, SubsampledObservation):
+            return self.grid.column_index(operator.indices)
+        raise ValueError(
+            "LETKF needs observation locations: pass obs_columns for operators "
+            f"of type {type(operator).__name__}"
+        )
+
+    def _local_obs_geometry(self, operator: ObservationOperator) -> tuple[np.ndarray, np.ndarray]:
+        """Distances (n_columns, n_obs) and observation column coordinates."""
+        obs_columns = self._resolve_obs_columns(operator)
+        coords = self.grid.point_coordinates()
+        obs_xy = coords[obs_columns]
+        return coords, obs_xy
+
+    # ------------------------------------------------------------------ #
+    def analyze(
+        self,
+        forecast_ensemble: np.ndarray,
+        observation: np.ndarray,
+        operator: ObservationOperator,
+    ) -> np.ndarray:
+        forecast_ensemble = np.asarray(forecast_ensemble, dtype=float)
+        if forecast_ensemble.ndim != 2:
+            raise ValueError("forecast ensemble must have shape (m, state_dim)")
+        n_members, state_dim = forecast_ensemble.shape
+        if state_dim != self.grid.size:
+            raise ValueError(
+                f"state dimension {state_dim} does not match grid size {self.grid.size}"
+            )
+        if n_members < 2:
+            raise ValueError("LETKF requires at least two ensemble members")
+        observation = np.asarray(observation, dtype=float)
+
+        prior = forecast_ensemble
+        if self.config.prior_inflation > 1.0:
+            prior = multiplicative_inflation(prior, self.config.prior_inflation)
+
+        # Ensemble statistics in state and observation space.
+        x_mean = prior.mean(axis=0)
+        x_pert = prior - x_mean
+        y_ens = operator.apply(prior)
+        y_mean = y_ens.mean(axis=0)
+        y_pert = y_ens - y_mean
+        innovation = observation - y_mean
+
+        coords, obs_xy = self._local_obs_geometry(operator)
+        n_columns = self.grid.ny * self.grid.nx
+        n_levels = self.grid.nlev
+        cutoff = self.config.localization.cutoff
+        min_weight = self.config.localization.min_weight
+        obs_var = operator.obs_error_var
+
+        analysis = np.empty_like(prior)
+        eye = np.eye(n_members)
+
+        for col in range(n_columns):
+            dist = periodic_distance_matrix(
+                coords[col][None, :], obs_xy, self.grid.lx, self.grid.ly
+            )[0]
+            loc_w = gaspari_cohn(dist, cutoff)
+            sel = loc_w > min_weight
+            state_idx = col + np.arange(n_levels) * n_columns
+
+            if not np.any(sel):
+                analysis[:, state_idx] = prior[:, state_idx]
+                continue
+
+            r_inv = loc_w[sel] / obs_var[sel]
+            y_loc = y_pert[:, sel]                      # (m, p_local)
+            c_mat = y_loc * r_inv                        # (m, p_local)
+            a_mat = (n_members - 1) * eye + c_mat @ y_loc.T
+
+            evals, evecs = np.linalg.eigh(a_mat)
+            evals = np.maximum(evals, 1.0e-12)
+            pa_tilde = (evecs / evals) @ evecs.T
+            w_transform = (evecs * np.sqrt((n_members - 1) / evals)) @ evecs.T
+            w_mean = pa_tilde @ (c_mat @ innovation[sel])
+            weights = w_transform + w_mean[:, None]      # (m, m): column i → member i
+
+            local_pert = x_pert[:, state_idx]            # (m, nlev)
+            analysis[:, state_idx] = x_mean[state_idx] + weights.T @ local_pert
+
+        if self.config.rtps_factor > 0.0:
+            analysis = rtps_inflation(analysis, forecast_ensemble, self.config.rtps_factor)
+        return analysis

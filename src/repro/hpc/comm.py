@@ -1,0 +1,155 @@
+"""In-process MPI-like communicator on NumPy buffers.
+
+The paper's EnSF is parallelised with MPI over the ensemble dimension and the
+ViT training uses RCCL collectives.  On a single machine we provide
+:class:`LocalCommGroup`, a deterministic, dependency-free communicator whose
+collectives have exactly the MPI/NCCL semantics (AllReduce, AllGather,
+ReduceScatter, Broadcast, Scatter/Gather) but operate on a list of per-rank
+NumPy arrays in one process.  The sharding strategies (DDP/ZeRO/FSDP) and the
+ensemble-parallel EnSF use it so the *algorithmic* communication patterns of
+the paper are genuinely executed and unit-testable; the *cost* of the same
+patterns at Frontier scale is provided by
+:class:`repro.hpc.collectives.CollectiveModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hpc.collectives import CollectiveKind, CollectiveModel
+
+__all__ = ["LocalCommGroup"]
+
+
+@dataclass
+class _TrafficLog:
+    """Accumulated communication volume per collective kind (bytes)."""
+
+    volume: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: CollectiveKind, nbytes: float) -> None:
+        key = kind.value
+        self.volume[key] = self.volume.get(key, 0.0) + nbytes
+        self.calls[key] = self.calls.get(key, 0) + 1
+
+
+class LocalCommGroup:
+    """A communicator over ``n_ranks`` in-process ranks.
+
+    Every collective takes a list of per-rank arrays (``buffers[rank]``) and
+    returns a list of per-rank results, mirroring SPMD semantics.  All
+    operations are deterministic and allocation-explicit, which makes the
+    collectives easy to verify against NumPy reference reductions.
+    """
+
+    def __init__(self, n_ranks: int, cost_model: CollectiveModel | None = None):
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = int(n_ranks)
+        self.cost_model = cost_model
+        self.traffic = _TrafficLog()
+
+    # ------------------------------------------------------------------ #
+    def _check(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        if len(buffers) != self.n_ranks:
+            raise ValueError(f"expected {self.n_ranks} per-rank buffers, got {len(buffers)}")
+        arrays = [np.asarray(b, dtype=float) for b in buffers]
+        shape = arrays[0].shape
+        for a in arrays[1:]:
+            if a.shape != shape:
+                raise ValueError("all per-rank buffers must have the same shape")
+        return arrays
+
+    def _record(self, kind: CollectiveKind, nbytes: float) -> None:
+        self.traffic.record(kind, nbytes)
+
+    # ------------------------------------------------------------------ #
+    def allreduce(self, buffers: list[np.ndarray], op: str = "sum") -> list[np.ndarray]:
+        """AllReduce: every rank receives the elementwise reduction."""
+        arrays = self._check(buffers)
+        stacked = np.stack(arrays)
+        if op == "sum":
+            result = stacked.sum(axis=0)
+        elif op == "mean":
+            result = stacked.mean(axis=0)
+        elif op == "max":
+            result = stacked.max(axis=0)
+        elif op == "min":
+            result = stacked.min(axis=0)
+        else:
+            raise ValueError(f"unsupported reduction op {op!r}")
+        self._record(CollectiveKind.ALL_REDUCE, arrays[0].nbytes)
+        return [result.copy() for _ in range(self.n_ranks)]
+
+    def allgather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """AllGather: every rank receives the concatenation of all buffers."""
+        arrays = self._check(buffers)
+        gathered = np.concatenate([a.ravel() for a in arrays])
+        self._record(CollectiveKind.ALL_GATHER, arrays[0].nbytes)
+        return [gathered.copy() for _ in range(self.n_ranks)]
+
+    def reduce_scatter(self, buffers: list[np.ndarray], op: str = "sum") -> list[np.ndarray]:
+        """ReduceScatter: rank ``r`` receives chunk ``r`` of the reduction.
+
+        Buffers are flattened and padded so the chunking is always exact; the
+        returned chunks have equal length ``ceil(size / n_ranks)``.
+        """
+        arrays = self._check(buffers)
+        flat = np.stack([a.ravel() for a in arrays])
+        if op == "sum":
+            reduced = flat.sum(axis=0)
+        elif op == "mean":
+            reduced = flat.mean(axis=0)
+        else:
+            raise ValueError(f"unsupported reduction op {op!r}")
+        chunk = -(-reduced.size // self.n_ranks)  # ceil division
+        padded = np.zeros(chunk * self.n_ranks)
+        padded[: reduced.size] = reduced
+        self._record(CollectiveKind.REDUCE_SCATTER, arrays[0].nbytes)
+        return [padded[r * chunk : (r + 1) * chunk].copy() for r in range(self.n_ranks)]
+
+    def broadcast(self, buffer: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Broadcast the root's buffer to every rank."""
+        if not 0 <= root < self.n_ranks:
+            raise ValueError("root rank out of range")
+        arr = np.asarray(buffer, dtype=float)
+        self._record(CollectiveKind.BROADCAST, arr.nbytes)
+        return [arr.copy() for _ in range(self.n_ranks)]
+
+    def scatter(self, buffer: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Scatter equal chunks of the root's (flattened, padded) buffer."""
+        if not 0 <= root < self.n_ranks:
+            raise ValueError("root rank out of range")
+        arr = np.asarray(buffer, dtype=float).ravel()
+        chunk = -(-arr.size // self.n_ranks)
+        padded = np.zeros(chunk * self.n_ranks)
+        padded[: arr.size] = arr
+        self._record(CollectiveKind.BROADCAST, arr.nbytes / self.n_ranks)
+        return [padded[r * chunk : (r + 1) * chunk].copy() for r in range(self.n_ranks)]
+
+    def gather(self, buffers: list[np.ndarray], root: int = 0) -> np.ndarray:
+        """Gather per-rank buffers into a single concatenated array at the root."""
+        arrays = self._check(buffers)
+        self._record(CollectiveKind.ALL_GATHER, arrays[0].nbytes)
+        return np.concatenate([a.ravel() for a in arrays])
+
+    # ------------------------------------------------------------------ #
+    def estimated_time(self, n_gpus: int | None = None) -> float:
+        """Estimated wall-clock time of all recorded traffic at Frontier scale.
+
+        Uses the attached :class:`CollectiveModel`; raises if none was given.
+        """
+        if self.cost_model is None:
+            raise RuntimeError("no CollectiveModel attached to this communicator")
+        n = n_gpus or self.n_ranks
+        total = 0.0
+        for key, volume in self.traffic.volume.items():
+            calls = self.traffic.calls[key]
+            if calls == 0:
+                continue
+            mean_message = volume / calls
+            total += calls * self.cost_model.time_seconds(CollectiveKind(key), mean_message, n)
+        return total

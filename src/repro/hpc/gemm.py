@@ -1,0 +1,128 @@
+"""GEMM efficiency model for MI250X kernel sizing (paper Fig. 6).
+
+The paper's single-node study shows that the achieved training throughput of
+the ViT surrogate (20–52 TFLOPS per GCD) is governed by kernel shapes: the
+embedding dimension, the number of attention heads and the MLP-to-attention
+ratio.  The qualitative findings are:
+
+* an embedding dimension around 2048 performs best;
+* more attention heads reduce performance (smaller per-head GEMMs);
+* increasing the MLP weight (ratio) improves overall throughput because the
+  MLP GEMMs are large and efficient.
+
+This module provides an analytical GEMM-efficiency model with those
+properties and an aggregator that converts a :class:`ViTConfig` into achieved
+TFLOPS, which the Fig. 6 benchmark sweeps into a heatmap.  The constants are
+modelling assumptions chosen to land in the paper's measured 20–52 TFLOPS
+range — they are not MI250X measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hpc.topology import GPUSpec
+from repro.surrogate.flops import vit_layer_flops
+from repro.surrogate.vit import ViTConfig
+
+__all__ = ["GEMMPerformanceModel", "vit_achieved_tflops"]
+
+
+@dataclass(frozen=True)
+class GEMMPerformanceModel:
+    """Achieved throughput of a single GEMM ``(m × k) · (k × n)`` on one GCD.
+
+    Efficiency is modelled as the product of
+    * a size ramp (small GEMMs are launch/memory bound),
+    * an alignment bonus for dimensions that are multiples of the MFMA tile,
+    * a cap at ``max_efficiency`` of the peak.
+    """
+
+    gpu: GPUSpec = GPUSpec()
+    precision: str = "bf16"
+    max_efficiency: float = 0.28
+    half_efficiency_gflop: float = 2.0
+    tile: int = 256
+
+    def efficiency(self, m: int, n: int, k: int, batch_count: int = 1) -> float:
+        """Fraction of peak achieved by a (possibly batched) GEMM.
+
+        ``batch_count`` GEMMs of identical shape issued as one batched call
+        (e.g. the per-head attention GEMMs) amortise launch overhead, so the
+        size ramp uses the *total* batched work while the narrowness penalty
+        still reflects the per-matrix dimensions.
+        """
+        if min(m, n, k) <= 0 or batch_count < 1:
+            raise ValueError("GEMM dimensions and batch_count must be positive")
+        gflop_total = 2.0 * m * n * k * batch_count / 1.0e9
+        size_ramp = gflop_total / (gflop_total + self.half_efficiency_gflop)
+        # Narrow inner/outer dimensions under-utilise the MFMA pipelines.
+        narrowness = min(m, n, k) / (min(m, n, k) + 64.0)
+        alignment = 1.0 if (n % self.tile == 0 and k % self.tile == 0) else 0.85
+        return float(self.max_efficiency * size_ramp * narrowness * alignment)
+
+    def achieved_tflops(self, m: int, n: int, k: int, batch_count: int = 1) -> float:
+        """Achieved TFLOPS of the (batched) GEMM."""
+        return (
+            self.efficiency(m, n, k, batch_count)
+            * self.gpu.peak_flops(self.precision)
+            / 1.0e12
+        )
+
+    def time_seconds(self, m: int, n: int, k: int, batch_count: int = 1) -> float:
+        """Execution time of the (batched) GEMM."""
+        flops = 2.0 * m * n * k * batch_count
+        return flops / (self.achieved_tflops(m, n, k, batch_count) * 1.0e12)
+
+
+def _vit_gemm_shapes(config: ViTConfig, batch_size: int) -> dict[str, tuple[tuple[int, int, int], int]]:
+    """GEMM shapes of one transformer block as ``(m, n, k), batch_count``.
+
+    Token dimensions are folded into ``m`` for the dense projections; the
+    attention score/context products are batched over ``batch × heads``
+    matrices of per-head size, which is what makes many heads inefficient.
+    """
+    n_tokens = batch_size * config.n_patches
+    d = config.embed_dim
+    dh = d // config.num_heads
+    hidden = int(round(d * config.mlp_ratio))
+    attn_batch = batch_size * config.num_heads
+    return {
+        "qkv": ((n_tokens, 3 * d, d), 1),
+        "attention_scores": ((config.n_patches, config.n_patches, dh), attn_batch),
+        "attention_context": ((config.n_patches, dh, config.n_patches), attn_batch),
+        "projection": ((n_tokens, d, d), 1),
+        "mlp": ((n_tokens, hidden, d), 1),
+    }
+
+
+def vit_achieved_tflops(
+    config: ViTConfig,
+    batch_size: int = 8,
+    model: GEMMPerformanceModel | None = None,
+    backward_factor: float = 2.0,
+) -> float:
+    """Achieved per-GCD training TFLOPS of a ViT layer configuration.
+
+    The per-block FLOPs (forward + backward, ``backward_factor`` ≈ 2×) are
+    divided by the time each GEMM group takes under the efficiency model.
+    This is the quantity the Fig. 6 heatmap sweeps over embedding dimension,
+    head count and MLP ratio.
+    """
+    model = model or GEMMPerformanceModel()
+    flops = vit_layer_flops(config, batch_size=batch_size)
+    shapes = _vit_gemm_shapes(config, batch_size)
+
+    total_flops = 0.0
+    total_time = 0.0
+    for name, group_flops in flops.items():
+        (m, n, k), batch_count = shapes[name]
+        group_flops_total = group_flops * (1.0 + backward_factor)
+        time = group_flops_total / (model.achieved_tflops(m, n, k, batch_count) * 1.0e12)
+        total_flops += group_flops_total
+        total_time += time
+    if total_time == 0.0:
+        return 0.0
+    return total_flops / total_time / 1.0e12

@@ -1,0 +1,158 @@
+"""Training-memory accounting and the Table I sharding taxonomy.
+
+The paper notes that ViT training needs roughly 12× the model parameter size
+in memory: weights (1×), Adam optimizer states (2×), gradients (1×) and
+intermediate/communication buffers such as FSDP units (2×), with the factor
+of two from mixed-precision master copies.  Table I maps the FSDP sharding
+strategies onto the DeepSpeed ZeRO stages according to *which* of those
+components are partitioned across data-parallel ranks:
+
+===================  =================  ==========================
+partitioned          FSDP               ZeRO
+===================  =================  ==========================
+optimizer            (n/a)              stage 1
+optimizer+gradient   shard_grad_op      stage 2
+opt+grad+weights     full_shard         stage 3
+hierarchical         hybrid_shard       (n/a)
+===================  =================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["ShardingStrategy", "STRATEGY_TABLE", "TrainingMemoryModel"]
+
+
+class ShardingStrategy(str, Enum):
+    """Distributed-training memory partitioning strategies (Table I columns)."""
+
+    DDP = "ddp"                      # no sharding (plain data parallelism)
+    ZERO_1 = "zero_stage1"           # optimizer states sharded
+    ZERO_2 = "zero_stage2"           # optimizer + gradients sharded
+    ZERO_3 = "zero_stage3"           # optimizer + gradients + weights sharded
+    FSDP_GRAD_OP = "fsdp_shard_grad_op"
+    FSDP_FULL = "fsdp_full_shard"
+    FSDP_HYBRID = "fsdp_hybrid_shard"
+
+
+#: Table I: which memory components each strategy partitions, and the
+#: FSDP ↔ ZeRO correspondence.
+STRATEGY_TABLE: dict[ShardingStrategy, dict] = {
+    ShardingStrategy.DDP: {
+        "shards": frozenset(),
+        "fsdp_equivalent": None,
+        "zero_equivalent": None,
+    },
+    ShardingStrategy.ZERO_1: {
+        "shards": frozenset({"optimizer"}),
+        "fsdp_equivalent": None,
+        "zero_equivalent": ShardingStrategy.ZERO_1,
+    },
+    ShardingStrategy.ZERO_2: {
+        "shards": frozenset({"optimizer", "gradient"}),
+        "fsdp_equivalent": ShardingStrategy.FSDP_GRAD_OP,
+        "zero_equivalent": ShardingStrategy.ZERO_2,
+    },
+    ShardingStrategy.ZERO_3: {
+        "shards": frozenset({"optimizer", "gradient", "weight"}),
+        "fsdp_equivalent": ShardingStrategy.FSDP_FULL,
+        "zero_equivalent": ShardingStrategy.ZERO_3,
+    },
+    ShardingStrategy.FSDP_GRAD_OP: {
+        "shards": frozenset({"optimizer", "gradient"}),
+        "fsdp_equivalent": ShardingStrategy.FSDP_GRAD_OP,
+        "zero_equivalent": ShardingStrategy.ZERO_2,
+    },
+    ShardingStrategy.FSDP_FULL: {
+        "shards": frozenset({"optimizer", "gradient", "weight"}),
+        "fsdp_equivalent": ShardingStrategy.FSDP_FULL,
+        "zero_equivalent": ShardingStrategy.ZERO_3,
+    },
+    ShardingStrategy.FSDP_HYBRID: {
+        "shards": frozenset({"optimizer", "gradient", "weight"}),
+        "fsdp_equivalent": ShardingStrategy.FSDP_HYBRID,
+        "zero_equivalent": None,
+    },
+}
+
+
+@dataclass(frozen=True)
+class TrainingMemoryModel:
+    """Per-GPU memory footprint of ViT training under a sharding strategy.
+
+    Component multipliers (in units of the parameter count × bytes/param)
+    follow the paper's 12× accounting for mixed-precision Adam training:
+    weights 1×, optimizer 2× (two fp32 Adam moments at twice the half-
+    precision width plus master weights folded in), gradients 1×, buffers 2×.
+    """
+
+    bytes_per_param: float = 2.0       # bf16 weights/grads
+    weight_multiplier: float = 1.0
+    optimizer_multiplier: float = 6.0  # fp32 master + two fp32 moments
+    gradient_multiplier: float = 1.0
+    buffer_multiplier: float = 4.0     # FSDP units / communication buffers
+    activation_bytes_per_token_per_layer: float = 64.0
+
+    def component_bytes(self, n_parameters: float) -> dict[str, float]:
+        """Unsharded sizes of each memory component in bytes."""
+        base = n_parameters * self.bytes_per_param
+        return {
+            "weight": self.weight_multiplier * base,
+            "optimizer": self.optimizer_multiplier * base,
+            "gradient": self.gradient_multiplier * base,
+            "buffer": self.buffer_multiplier * base,
+        }
+
+    def total_multiplier(self) -> float:
+        """Total memory / (params · bytes_per_param); ≈ 12 per the paper."""
+        return (
+            self.weight_multiplier
+            + self.optimizer_multiplier
+            + self.gradient_multiplier
+            + self.buffer_multiplier
+        )
+
+    def activation_bytes(self, n_tokens: int, depth: int, embed_dim: int) -> float:
+        """Rough activation footprint for one micro-batch."""
+        return float(n_tokens) * depth * embed_dim * self.activation_bytes_per_token_per_layer / 16.0
+
+    def per_gpu_bytes(
+        self,
+        n_parameters: float,
+        strategy: ShardingStrategy,
+        n_gpus: int,
+        n_tokens: int = 0,
+        depth: int = 0,
+        embed_dim: int = 0,
+        hybrid_group_size: int = 8,
+    ) -> float:
+        """Per-GPU memory under ``strategy`` with ``n_gpus`` data-parallel ranks."""
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be positive")
+        shards = STRATEGY_TABLE[strategy]["shards"]
+        components = self.component_bytes(n_parameters)
+        if strategy == ShardingStrategy.FSDP_HYBRID:
+            shard_degree = min(n_gpus, hybrid_group_size)
+        else:
+            shard_degree = n_gpus
+
+        total = 0.0
+        for name, size in components.items():
+            if name == "buffer":
+                # Buffers shrink with weight sharding (smaller FSDP units).
+                total += size / (shard_degree if "weight" in shards else 1)
+            elif name in shards:
+                total += size / shard_degree
+            else:
+                total += size
+        if n_tokens and depth and embed_dim:
+            total += self.activation_bytes(n_tokens, depth, embed_dim)
+        return total
+
+    def fits_on_gpu(
+        self, n_parameters: float, strategy: ShardingStrategy, n_gpus: int, gpu_memory_gb: float = 64.0
+    ) -> bool:
+        """Whether the per-GPU footprint fits in the GCD's 64 GB HBM."""
+        return self.per_gpu_bytes(n_parameters, strategy, n_gpus) <= gpu_memory_gb * 2.0**30

@@ -1,0 +1,151 @@
+"""Strong/weak scaling harnesses (Figs. 9 and 10).
+
+``strong_scaling_study`` sweeps GPU counts and distribution strategies for a
+ViT configuration using the training-step simulator, producing the efficiency
+curves of Fig. 9.  ``weak_scaling_ensf`` measures the *real* per-step EnSF
+cost at a laptop-feasible per-rank dimension and extends it to Frontier scale
+with the ensemble-parallel cost model (per-rank work constant, a single
+result reduction at the end), reproducing the flat weak-scaling behaviour of
+Fig. 10.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ensf import EnSF, EnSFConfig
+from repro.core.observations import IdentityObservation
+from repro.hpc.collectives import CollectiveKind, CollectiveModel
+from repro.hpc.trainer_sim import DistributedTrainingSimulator, TrainingRunConfig
+from repro.surrogate.vit import ViTConfig
+from repro.utils.random import default_rng
+
+__all__ = ["ScalingPoint", "EnSFScalingPoint", "strong_scaling_study", "weak_scaling_ensf"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong-scaling curve."""
+
+    strategy: str
+    n_gpus: int
+    step_time: float
+    throughput: float
+    efficiency: float
+
+
+@dataclass(frozen=True)
+class EnSFScalingPoint:
+    """One point of the EnSF weak-scaling curve (Fig. 10)."""
+
+    dimension_per_rank: float
+    n_gpus: int
+    time_per_step: float
+    measured_local_time: float
+
+
+def strong_scaling_study(
+    vit: ViTConfig,
+    strategies: dict[str, object],
+    gpu_counts: list[int],
+    micro_batch: int | None = None,
+    simulator: DistributedTrainingSimulator | None = None,
+) -> list[ScalingPoint]:
+    """Scaling sweep over strategies × GPU counts (Fig. 9).
+
+    The per-GPU workload is fixed (throughput-vs-GPU-count scaling, as the
+    paper plots); efficiency is the throughput per GPU normalised by the
+    smallest allocation's throughput per GPU.
+
+    Parameters
+    ----------
+    vit:
+        Architecture to train (Table II presets for the paper's figures).
+    strategies:
+        Mapping from display name to strategy object (``DataParallel``,
+        ``ZeROParallel``, ``FSDPParallel``).
+    gpu_counts:
+        GPU counts to sweep (the paper uses 8 … 1024).
+    """
+    simulator = simulator or DistributedTrainingSimulator()
+    points: list[ScalingPoint] = []
+    gpu_counts = sorted(int(g) for g in gpu_counts)
+    for name, strategy in strategies.items():
+        base_per_gpu_throughput = None
+        for n in gpu_counts:
+            run = TrainingRunConfig(vit=vit, n_gpus=n, micro_batch=micro_batch)
+            step_time = simulator.step_time(run, strategy)
+            throughput = run.global_batch / step_time
+            if base_per_gpu_throughput is None:
+                base_per_gpu_throughput = throughput / gpu_counts[0]
+            efficiency = (throughput / n) / base_per_gpu_throughput
+            points.append(
+                ScalingPoint(
+                    strategy=name,
+                    n_gpus=n,
+                    step_time=step_time,
+                    throughput=throughput,
+                    efficiency=efficiency,
+                )
+            )
+    return points
+
+
+def _measure_ensf_step(dimension: int, ensemble_size: int, n_sde_steps: int, seed: int) -> float:
+    """Wall-clock time of one EnSF analysis at the given state dimension."""
+    rng = default_rng(seed)
+    ensemble = rng.standard_normal((ensemble_size, dimension))
+    truth = rng.standard_normal(dimension)
+    operator = IdentityObservation(dimension, obs_error_var=1.0)
+    observation = operator.observe(truth, rng=rng)
+    filter_ = EnSF(EnSFConfig(n_sde_steps=n_sde_steps, scale_states=False), rng=seed)
+    start = time.perf_counter()
+    filter_.analyze(ensemble, observation, operator)
+    return time.perf_counter() - start
+
+
+def weak_scaling_ensf(
+    dimensions: list[float],
+    gpu_counts: list[int],
+    ensemble_size: int = 20,
+    n_sde_steps: int = 20,
+    measured_dimension: int = 50_000,
+    collectives: CollectiveModel | None = None,
+    seed: int = 0,
+) -> list[EnSFScalingPoint]:
+    """EnSF weak scaling: per-rank dimension fixed, ranks added (Fig. 10).
+
+    The EnSF update is embarrassingly parallel over ensemble members /
+    state blocks (paper §III-A3), so the per-step time at ``n`` GPUs equals
+    the single-rank time on the per-rank share plus one small result
+    reduction.  The single-rank time is *measured* at ``measured_dimension``
+    and extrapolated linearly in the state dimension (the update cost is
+    linear in the dimension); the reduction cost comes from the collective
+    model.
+    """
+    collectives = collectives or CollectiveModel()
+    local_time = _measure_ensf_step(measured_dimension, ensemble_size, n_sde_steps, seed)
+    time_per_dim = local_time / measured_dimension
+
+    points: list[EnSFScalingPoint] = []
+    for dim in dimensions:
+        for n in gpu_counts:
+            per_rank_dim = float(dim)  # weak scaling: per-rank share is fixed
+            compute = per_rank_dim * time_per_dim
+            # Result reduction: the analysis-mean contribution of this rank
+            # (per-rank state share, 8 bytes per value) is MPI-reduced once.
+            reduce_time = collectives.time_seconds(
+                CollectiveKind.ALL_REDUCE, per_rank_dim * 8.0 / max(n, 1), int(n)
+            )
+            points.append(
+                EnSFScalingPoint(
+                    dimension_per_rank=per_rank_dim,
+                    n_gpus=int(n),
+                    time_per_step=compute + reduce_time,
+                    measured_local_time=local_time,
+                )
+            )
+    return points

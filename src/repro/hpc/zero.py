@@ -1,0 +1,126 @@
+"""DeepSpeed-ZeRO style memory-efficient data parallelism.
+
+ZeRO partitions training state across data-parallel ranks (Table I):
+
+* **stage 1** — optimizer states are sharded; gradients are reduce-scattered
+  so each rank owns the gradient shard it needs for its optimizer partition,
+  and the updated parameters are all-gathered back;
+* **stage 2** — gradients are also kept sharded between steps (same
+  communication pattern, less memory);
+* **stage 3** — parameters are sharded too, requiring parameter all-gathers
+  in both the forward and the backward pass (≈50 % more communication).
+
+The ``bucket_bytes`` knob mirrors DeepSpeed's ``allgather_bucket_size`` /
+``reduce_bucket_size``: the paper finds the PyTorch-Lightning default of
+200 MB sits in the AllReduce bandwidth dip and that ~500 MB buckets restore
+85 % scaling efficiency for the 256² model (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpc.collectives import CollectiveKind
+from repro.hpc.comm import LocalCommGroup
+from repro.hpc.ddp import CommEvent, bucketize
+from repro.hpc.memory import ShardingStrategy
+
+__all__ = ["ZeROParallel"]
+
+_STAGE_TO_STRATEGY = {
+    1: ShardingStrategy.ZERO_1,
+    2: ShardingStrategy.ZERO_2,
+    3: ShardingStrategy.ZERO_3,
+}
+
+
+class ZeROParallel:
+    """ZeRO stage 1/2/3 communication and sharding bookkeeping."""
+
+    def __init__(self, stage: int = 1, bucket_bytes: float = 200 * 2.0**20):
+        if stage not in (1, 2, 3):
+            raise ValueError("ZeRO stage must be 1, 2 or 3")
+        if bucket_bytes <= 0:
+            raise ValueError("bucket_bytes must be positive")
+        self.stage = stage
+        self.bucket_bytes = float(bucket_bytes)
+
+    @property
+    def name(self) -> str:
+        return f"DeepSpeed-ZeRO-{self.stage}"
+
+    @property
+    def strategy(self) -> ShardingStrategy:
+        return _STAGE_TO_STRATEGY[self.stage]
+
+    # ----------------------------- cost model ------------------------- #
+    def comm_events(self, param_bytes: float, n_gpus: int) -> list[CommEvent]:
+        """Collectives per optimisation step.
+
+        Stage 1 averages gradients with bucketed **AllReduce** (this is why
+        the paper's Fig. 9 discussion ties the default 200 MB bucket to the
+        AllReduce bandwidth dip of Fig. 8).  Stage 2 keeps gradients sharded:
+        reduce-scatter of gradients plus all-gather of updated parameters
+        (together the volume of one AllReduce).  Stage 3 adds a second
+        parameter all-gather during the backward pass, the ≈50 % extra
+        communication the paper attributes to full sharding.
+        """
+        if n_gpus <= 1:
+            return []
+        events: list[CommEvent] = []
+        if self.stage == 1:
+            for b in bucketize(param_bytes, self.bucket_bytes):
+                events.append(CommEvent(CollectiveKind.ALL_REDUCE, b, overlappable=True))
+            return events
+        for b in bucketize(param_bytes, self.bucket_bytes):
+            events.append(CommEvent(CollectiveKind.REDUCE_SCATTER, b, overlappable=True))
+        for b in bucketize(param_bytes, self.bucket_bytes):
+            events.append(CommEvent(CollectiveKind.ALL_GATHER, b, overlappable=True))
+        if self.stage == 3:
+            for b in bucketize(param_bytes, self.bucket_bytes):
+                events.append(CommEvent(CollectiveKind.ALL_GATHER, b, overlappable=False))
+        return events
+
+    # --------------------------- executable path ----------------------- #
+    def shard_optimizer_state(self, flat_state: np.ndarray, n_ranks: int) -> list[np.ndarray]:
+        """Partition a flattened optimizer-state vector across ranks (stage ≥ 1)."""
+        flat_state = np.asarray(flat_state, dtype=float).ravel()
+        chunk = -(-flat_state.size // n_ranks)
+        padded = np.zeros(chunk * n_ranks)
+        padded[: flat_state.size] = flat_state
+        return [padded[r * chunk : (r + 1) * chunk].copy() for r in range(n_ranks)]
+
+    def step(
+        self,
+        comm: LocalCommGroup,
+        per_rank_params: list[np.ndarray],
+        per_rank_grads: list[np.ndarray],
+        learning_rate: float = 0.1,
+    ) -> list[np.ndarray]:
+        """One ZeRO optimisation step on flattened parameter/gradient vectors.
+
+        Each rank holds the full (replicated) parameter vector and its local
+        gradient.  The step reduce-scatters the gradients, applies an SGD
+        update to the locally-owned shard, and all-gathers the updated
+        parameters — the stage-1/2 data flow.  The result is identical on
+        every rank and equals the equivalent single-process SGD step, which
+        is what the unit tests assert.
+        """
+        n_ranks = comm.n_ranks
+        params = [np.asarray(p, dtype=float).ravel() for p in per_rank_params]
+        size = params[0].size
+        grad_shards = comm.reduce_scatter(per_rank_grads, op="mean")
+        chunk = grad_shards[0].size
+
+        updated_shards = []
+        for rank in range(n_ranks):
+            start = rank * chunk
+            stop = min(start + chunk, size)
+            local = params[rank][start:stop].copy()
+            local -= learning_rate * grad_shards[rank][: stop - start]
+            padded = np.zeros(chunk)
+            padded[: stop - start] = local
+            updated_shards.append(padded)
+
+        gathered = comm.allgather(updated_shards)
+        return [g[:size].copy() for g in gathered]

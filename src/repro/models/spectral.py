@@ -1,0 +1,192 @@
+"""Spectral (FFT) machinery for the SQG model.
+
+The SQG model is discretised in spectral space using the real 2-D FFT, with a
+2/3-rule dealiasing mask applied to nonlinear products and spectral
+derivatives computed by multiplication with ``i k`` (paper §II-B, following
+Tulloch & Smith 2009 and the ``sqgturb`` reference implementation).
+
+All transforms operate on the trailing two axes so that batched states
+(ensembles) of shape ``(..., nlev, ny, nx)`` are handled with a single FFT
+call — this is the main vectorisation lever for ensemble forecasting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SpectralGrid"]
+
+
+@dataclass(frozen=True)
+class _SpectralArrays:
+    k: np.ndarray
+    l: np.ndarray
+    ksq: np.ndarray
+    dealias_mask: np.ndarray
+
+
+class SpectralGrid:
+    """Wavenumber bookkeeping and transforms for a doubly-periodic grid.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of grid points in x and y (physical space).
+    lx, ly:
+        Physical domain lengths (metres).
+    dealias:
+        Apply the 2/3 rule when truncating spectra of nonlinear products.
+    """
+
+    def __init__(self, nx: int, ny: int, lx: float, ly: float, dealias: bool = True):
+        if nx < 4 or ny < 4:
+            raise ValueError("spectral grid needs at least 4 points per direction")
+        if nx % 2 or ny % 2:
+            raise ValueError("nx and ny must be even for the rfft layout used here")
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.lx = float(lx)
+        self.ly = float(ly)
+        self.dealias = bool(dealias)
+
+        # rfft2 layout: full frequencies along y (axis -2), half along x (axis -1).
+        kx = 2.0 * np.pi / self.lx * np.arange(0, self.nx // 2 + 1)
+        ky = 2.0 * np.pi / self.ly * np.fft.fftfreq(self.ny) * self.ny
+        k2d, l2d = np.meshgrid(kx, ky)
+        ksq = k2d**2 + l2d**2
+
+        kmax_x = 2.0 * np.pi / self.lx * (self.nx // 2)
+        kmax_y = 2.0 * np.pi / self.ly * (self.ny // 2)
+        mask = np.ones_like(ksq)
+        if self.dealias:
+            mask = np.where(
+                (np.abs(k2d) > (2.0 / 3.0) * kmax_x) | (np.abs(l2d) > (2.0 / 3.0) * kmax_y),
+                0.0,
+                1.0,
+            )
+
+        self._arrays = _SpectralArrays(k=k2d, l=l2d, ksq=ksq, dealias_mask=mask)
+
+    # ------------------------------------------------------------------ #
+    # wavenumber arrays
+    # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> np.ndarray:
+        """Zonal wavenumbers, shape ``(ny, nx//2+1)``."""
+        return self._arrays.k
+
+    @property
+    def l(self) -> np.ndarray:
+        """Meridional wavenumbers, shape ``(ny, nx//2+1)``."""
+        return self._arrays.l
+
+    @property
+    def ksq(self) -> np.ndarray:
+        """Squared total wavenumber ``k² + l²``."""
+        return self._arrays.ksq
+
+    @property
+    def kappa(self) -> np.ndarray:
+        """Total wavenumber magnitude ``sqrt(k² + l²)``."""
+        return np.sqrt(self._arrays.ksq)
+
+    @property
+    def ksq_max(self) -> float:
+        """Largest resolved squared wavenumber (used to scale hyperdiffusion)."""
+        return float(self._arrays.ksq.max())
+
+    @property
+    def dealias_mask(self) -> np.ndarray:
+        """2/3-rule mask (ones where retained, zeros where truncated)."""
+        return self._arrays.dealias_mask
+
+    @property
+    def spectral_shape(self) -> tuple[int, int]:
+        """Shape of spectral arrays ``(ny, nx//2+1)``."""
+        return (self.ny, self.nx // 2 + 1)
+
+    # ------------------------------------------------------------------ #
+    # transforms (batched over leading axes)
+    # ------------------------------------------------------------------ #
+    def to_spectral(self, field: np.ndarray) -> np.ndarray:
+        """Forward transform of the trailing ``(ny, nx)`` axes."""
+        field = np.asarray(field)
+        self._check_physical(field)
+        return np.fft.rfft2(field, axes=(-2, -1))
+
+    def to_physical(self, spec: np.ndarray) -> np.ndarray:
+        """Inverse transform returning a real field on the trailing axes."""
+        spec = np.asarray(spec)
+        self._check_spectral(spec)
+        return np.fft.irfft2(spec, s=(self.ny, self.nx), axes=(-2, -1))
+
+    def truncate(self, spec: np.ndarray) -> np.ndarray:
+        """Apply the 2/3 dealiasing mask to a spectral array."""
+        self._check_spectral(np.asarray(spec))
+        return spec * self.dealias_mask
+
+    # ------------------------------------------------------------------ #
+    # spectral calculus
+    # ------------------------------------------------------------------ #
+    def ddx(self, spec: np.ndarray) -> np.ndarray:
+        """Spectral x-derivative (returns a spectral array)."""
+        return 1j * self.k * spec
+
+    def ddy(self, spec: np.ndarray) -> np.ndarray:
+        """Spectral y-derivative (returns a spectral array)."""
+        return 1j * self.l * spec
+
+    def laplacian(self, spec: np.ndarray) -> np.ndarray:
+        """Spectral Laplacian ``-(k²+l²)``."""
+        return -self.ksq * spec
+
+    def gradient_physical(self, spec: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Physical-space gradient ``(∂/∂x, ∂/∂y)`` of a spectral field."""
+        return self.to_physical(self.ddx(spec)), self.to_physical(self.ddy(spec))
+
+    def jacobian(self, psi_spec: np.ndarray, theta_spec: np.ndarray) -> np.ndarray:
+        """Advective Jacobian ``J(ψ, θ) = ψ_x θ_y − ψ_y θ_x`` in spectral space.
+
+        Products are formed in physical space with dealiased inputs and the
+        result is transformed back and truncated, following the standard
+        pseudo-spectral 2/3-rule treatment.
+        """
+        psi_spec = self.truncate(psi_spec)
+        theta_spec = self.truncate(theta_spec)
+        psi_x, psi_y = self.gradient_physical(psi_spec)
+        th_x, th_y = self.gradient_physical(theta_spec)
+        jac = psi_x * th_y - psi_y * th_x
+        return self.truncate(self.to_spectral(jac))
+
+    def hyperdiffusion_filter(
+        self, dt: float, efolding_time: float, order: int = 8
+    ) -> np.ndarray:
+        """Implicit hyperdiffusion multiplier applied once per time step.
+
+        Damps the largest resolved wavenumber with e-folding time
+        ``efolding_time`` and scales as ``(K²/K²_max)^(order/2)`` — this is
+        the implicit hyperdiffusion treatment referenced in §II-B.
+        """
+        if efolding_time <= 0:
+            raise ValueError("efolding_time must be positive")
+        if order <= 0 or order % 2:
+            raise ValueError("hyperdiffusion order must be a positive even integer")
+        ratio = self.ksq / self.ksq_max
+        return np.exp(-(dt / efolding_time) * ratio ** (order // 2))
+
+    # ------------------------------------------------------------------ #
+    # validation helpers
+    # ------------------------------------------------------------------ #
+    def _check_physical(self, field: np.ndarray) -> None:
+        if field.shape[-2:] != (self.ny, self.nx):
+            raise ValueError(
+                f"physical field trailing shape {field.shape[-2:]} != {(self.ny, self.nx)}"
+            )
+
+    def _check_spectral(self, spec: np.ndarray) -> None:
+        if spec.shape[-2:] != self.spectral_shape:
+            raise ValueError(
+                f"spectral field trailing shape {spec.shape[-2:]} != {self.spectral_shape}"
+            )

@@ -1,0 +1,114 @@
+"""Multi-head self-attention with explicit backpropagation.
+
+The attention block of the SQG-ViT (paper Fig. 2): a fused QKV projection,
+scaled dot-product attention with softmax (and optional attention dropout),
+and an output projection.  The number of heads and the embedding dimension
+are the main kernel-sizing knobs studied in the paper's compute-efficiency
+experiments (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.layers import Dropout, Linear, Module
+from repro.utils.random import default_rng, split_rng
+
+__all__ = ["MultiHeadSelfAttention", "softmax", "softmax_backward"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    x = np.asarray(x, dtype=float)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax_backward(grad_out: np.ndarray, softmax_out: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward pass of softmax given its output."""
+    dot = np.sum(grad_out * softmax_out, axis=axis, keepdims=True)
+    return softmax_out * (grad_out - dot)
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention on token tensors ``(B, N, D)``."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        attn_dropout: float = 0.0,
+        proj_dropout: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+        name: str = "attn",
+    ):
+        if embed_dim % num_heads:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        rng = default_rng(rng)
+        rngs = split_rng(rng, 4)
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+
+        self.qkv = Linear(embed_dim, 3 * embed_dim, rng=rngs[0], name=f"{name}.qkv")
+        self.proj = Linear(embed_dim, embed_dim, rng=rngs[1], name=f"{name}.proj")
+        self.attn_drop = Dropout(attn_dropout, rng=rngs[2])
+        self.proj_drop = Dropout(proj_dropout, rng=rngs[3])
+        self._cache: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[-1] != self.embed_dim:
+            raise ValueError(f"expected (B, N, {self.embed_dim}), got {x.shape}")
+        batch, tokens, _ = x.shape
+        h, dh = self.num_heads, self.head_dim
+
+        qkv = self.qkv.forward(x, training=training)                    # (B, N, 3D)
+        qkv = qkv.reshape(batch, tokens, 3, h, dh).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]                                 # each (B, H, N, dh)
+
+        logits = (q @ k.transpose(0, 1, 3, 2)) * self.scale              # (B, H, N, N)
+        attn = softmax(logits, axis=-1)
+        attn_dropped = self.attn_drop.forward(attn, training=training)
+        context = attn_dropped @ v                                       # (B, H, N, dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, tokens, self.embed_dim)
+        out = self.proj.forward(merged, training=training)
+        out = self.proj_drop.forward(out, training=training)
+
+        self._cache = {
+            "q": q,
+            "k": k,
+            "v": v,
+            "attn": attn,
+            "attn_dropped": attn_dropped,
+            "shape": (batch, tokens),
+        }
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        q, k, v = cache["q"], cache["k"], cache["v"]
+        attn, attn_dropped = cache["attn"], cache["attn_dropped"]
+        batch, tokens = cache["shape"]
+        h, dh = self.num_heads, self.head_dim
+
+        grad = self.proj_drop.backward(np.asarray(grad_out, dtype=float))
+        grad_merged = self.proj.backward(grad)                            # (B, N, D)
+        grad_context = grad_merged.reshape(batch, tokens, h, dh).transpose(0, 2, 1, 3)
+
+        grad_attn_dropped = grad_context @ v.transpose(0, 1, 3, 2)        # (B, H, N, N)
+        grad_v = attn_dropped.transpose(0, 1, 3, 2) @ grad_context        # (B, H, N, dh)
+        grad_attn = self.attn_drop.backward(grad_attn_dropped)
+        grad_logits = softmax_backward(grad_attn, attn) * self.scale
+
+        grad_q = grad_logits @ k                                          # (B, H, N, dh)
+        grad_k = grad_logits.transpose(0, 1, 3, 2) @ q                    # (B, H, N, dh)
+
+        grad_qkv = np.stack([grad_q, grad_k, grad_v], axis=0)             # (3, B, H, N, dh)
+        grad_qkv = grad_qkv.transpose(1, 3, 0, 2, 4).reshape(batch, tokens, 3 * self.embed_dim)
+        return self.qkv.backward(grad_qkv)

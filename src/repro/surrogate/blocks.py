@@ -1,0 +1,108 @@
+"""Transformer encoder blocks for the SQG-ViT (paper Fig. 2).
+
+Each block is the standard pre-norm residual structure
+
+``x ← x + DropPath(Attention(LayerNorm(x)))``
+``x ← x + DropPath(MLP(LayerNorm(x)))``
+
+with the MLP expansion ratio (``mlp_ratio``) being the dominant contributor
+to the parameter count — the kernel-sizing fact the paper's Fig. 6 study is
+built around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.attention import MultiHeadSelfAttention
+from repro.surrogate.layers import GELU, DropPath, Dropout, LayerNorm, Linear, Module
+from repro.utils.random import default_rng, split_rng
+
+__all__ = ["MLP", "TransformerBlock"]
+
+
+class MLP(Module):
+    """Two-layer feed-forward network with GELU activation and dropout."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        hidden_dim: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+        name: str = "mlp",
+    ):
+        rng = default_rng(rng)
+        rngs = split_rng(rng, 2)
+        self.fc1 = Linear(embed_dim, hidden_dim, rng=rngs[0], name=f"{name}.fc1")
+        self.act = GELU()
+        self.fc2 = Linear(hidden_dim, embed_dim, rng=rngs[1], name=f"{name}.fc2")
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        h = self.fc1.forward(x, training=training)
+        h = self.act.forward(h, training=training)
+        h = self.fc2.forward(h, training=training)
+        return self.drop.forward(h, training=training)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.drop.backward(grad_out)
+        grad = self.fc2.backward(grad)
+        grad = self.act.backward(grad)
+        return self.fc1.backward(grad)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block with DropPath on both branches."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+        attn_dropout: float = 0.0,
+        drop_path: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+        name: str = "block",
+    ):
+        rng = default_rng(rng)
+        rngs = split_rng(rng, 4)
+        hidden_dim = int(round(embed_dim * mlp_ratio))
+        self.norm1 = LayerNorm(embed_dim, name=f"{name}.norm1")
+        self.attn = MultiHeadSelfAttention(
+            embed_dim,
+            num_heads,
+            attn_dropout=attn_dropout,
+            proj_dropout=dropout,
+            rng=rngs[0],
+            name=f"{name}.attn",
+        )
+        self.drop_path1 = DropPath(drop_path, rng=rngs[1])
+        self.norm2 = LayerNorm(embed_dim, name=f"{name}.norm2")
+        self.mlp = MLP(embed_dim, hidden_dim, dropout=dropout, rng=rngs[2], name=f"{name}.mlp")
+        self.drop_path2 = DropPath(drop_path, rng=rngs[3])
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        attn_branch = self.norm1.forward(x, training=training)
+        attn_branch = self.attn.forward(attn_branch, training=training)
+        attn_branch = self.drop_path1.forward(attn_branch, training=training)
+        x = x + attn_branch
+
+        mlp_branch = self.norm2.forward(x, training=training)
+        mlp_branch = self.mlp.forward(mlp_branch, training=training)
+        mlp_branch = self.drop_path2.forward(mlp_branch, training=training)
+        return x + mlp_branch
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = np.asarray(grad_out, dtype=float)
+        # Second residual connection.
+        grad_mlp = self.drop_path2.backward(grad_out)
+        grad_mlp = self.mlp.backward(grad_mlp)
+        grad_mlp = self.norm2.backward(grad_mlp)
+        grad_mid = grad_out + grad_mlp
+        # First residual connection.
+        grad_attn = self.drop_path1.backward(grad_mid)
+        grad_attn = self.attn.backward(grad_attn)
+        grad_attn = self.norm1.backward(grad_attn)
+        return grad_mid + grad_attn

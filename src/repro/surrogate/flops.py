@@ -1,0 +1,125 @@
+"""Parameter counts, FLOPs and Frontier node-hour estimates for the ViT.
+
+Implements the paper's computational-budget model (§III-B d, Eq. 18):
+
+``T = 6 · Π_i (L_i / P_i) · E · M``
+
+per training image — 6 because every token costs one multiply-accumulate in
+the forward pass and two in the backward pass — times the number of images.
+These estimates feed the Fig. 3 benchmark (FLOPs and node-hours for the
+Table II model sizes) and the distributed-training simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.vit import ViTConfig
+
+__all__ = [
+    "vit_parameter_count",
+    "vit_layer_flops",
+    "vit_forward_flops",
+    "vit_training_flops",
+    "training_flops_eq18",
+    "frontier_node_hours",
+]
+
+
+def vit_parameter_count(config: ViTConfig) -> int:
+    """Exact trainable-parameter count of the :class:`VisionTransformer`.
+
+    Per block: QKV (D·3D + 3D) + output projection (D² + D) + two LayerNorms
+    (4D) + MLP (D·rD + rD + rD·D + D).  Plus patch embedding, positional
+    embeddings, the final LayerNorm and the prediction head.
+    """
+    d = config.embed_dim
+    r = config.mlp_ratio
+    hidden = int(round(d * r))
+    per_block = (
+        d * 3 * d + 3 * d          # qkv
+        + d * d + d                # attention output projection
+        + 4 * d                    # two LayerNorms
+        + d * hidden + hidden      # mlp fc1
+        + hidden * d + d           # mlp fc2
+    )
+    patch_dim = config.patch_dim
+    embed = patch_dim * d + d + config.n_patches * d   # projection + bias + pos-embed
+    head = d * patch_dim + patch_dim
+    final_norm = 2 * d
+    return int(config.depth * per_block + embed + head + final_norm)
+
+
+def vit_layer_flops(config: ViTConfig, batch_size: int = 1) -> dict[str, float]:
+    """FLOPs per transformer block broken into GEMM groups (cf. Fig. 2).
+
+    Counts multiply-adds as 2 FLOPs.  The attention score/context GEMMs scale
+    quadratically with the token count, which is why larger inputs (longer
+    sequences) shift the paper's runtime breakdown (Fig. 7).
+    """
+    n = config.n_patches
+    d = config.embed_dim
+    hidden = int(round(config.embed_dim * config.mlp_ratio))
+    flops_qkv = 2.0 * batch_size * n * d * 3 * d
+    flops_attn_scores = 2.0 * batch_size * config.num_heads * n * n * (d // config.num_heads)
+    flops_attn_context = flops_attn_scores
+    flops_proj = 2.0 * batch_size * n * d * d
+    flops_mlp = 2.0 * batch_size * n * (d * hidden + hidden * d)
+    return {
+        "qkv": flops_qkv,
+        "attention_scores": flops_attn_scores,
+        "attention_context": flops_attn_context,
+        "projection": flops_proj,
+        "mlp": flops_mlp,
+    }
+
+
+def vit_forward_flops(config: ViTConfig, batch_size: int = 1) -> float:
+    """Total forward-pass FLOPs for one batch (all blocks plus embeddings/head)."""
+    per_block = sum(vit_layer_flops(config, batch_size).values())
+    n = config.n_patches
+    d = config.embed_dim
+    embed = 2.0 * batch_size * n * config.patch_dim * d
+    head = 2.0 * batch_size * n * d * config.patch_dim
+    return config.depth * per_block + embed + head
+
+
+def training_flops_eq18(
+    input_shape: tuple[int, ...],
+    patch_size: int,
+    n_parameters: float,
+    n_images: float,
+    epochs: int,
+) -> float:
+    """The paper's Eq. 18 budget: ``6 · Π(L_i/P_i) · E · M`` per image, times images."""
+    tokens_per_image = 1.0
+    for length in input_shape:
+        tokens_per_image *= length / patch_size
+    return 6.0 * tokens_per_image * float(epochs) * float(n_parameters) * float(n_images)
+
+
+def vit_training_flops(config: ViTConfig, n_images: float = 1.0e6, epochs: int = 100) -> float:
+    """Eq. 18 applied to a :class:`ViTConfig` (2-D inputs)."""
+    return training_flops_eq18(
+        (config.image_size, config.image_size),
+        config.patch_size,
+        vit_parameter_count(config),
+        n_images,
+        epochs,
+    )
+
+
+def frontier_node_hours(
+    total_flops: float,
+    achieved_tflops_per_gcd: float = 40.0,
+    gcds_per_node: int = 8,
+) -> float:
+    """Convert a FLOP budget into Frontier node-hours (Fig. 3's second axis).
+
+    ``achieved_tflops_per_gcd`` defaults to 40 TFLOPS, the middle of the
+    20–52 TFLOPS range measured in the paper's single-node study (Fig. 6).
+    """
+    if achieved_tflops_per_gcd <= 0 or gcds_per_node <= 0:
+        raise ValueError("throughput and GCD count must be positive")
+    node_flops_per_second = achieved_tflops_per_gcd * 1.0e12 * gcds_per_node
+    return float(total_flops) / node_flops_per_second / 3600.0

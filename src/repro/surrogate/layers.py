@@ -1,0 +1,281 @@
+"""Minimal NumPy neural-network layers with explicit backpropagation.
+
+The ViT surrogate of the paper is a standard transformer; here every layer is
+implemented from scratch on top of NumPy with hand-written forward/backward
+passes so the whole library stays dependency-free.  The design follows a
+conventional "module" pattern:
+
+* a :class:`Parameter` owns a value array and its accumulated gradient;
+* a :class:`Module` owns parameters and sub-modules, exposes
+  ``forward(x, training=...)`` (caching what backward needs) and
+  ``backward(grad_out)`` (returning the gradient with respect to its input
+  and accumulating parameter gradients);
+* gradients are verified against finite differences in the test suite.
+
+All layers operate on arrays whose *last* axis is the feature dimension, so
+token tensors of shape ``(batch, tokens, dim)`` work throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import default_rng
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "GELU",
+    "Dropout",
+    "DropPath",
+    "Sequential",
+]
+
+
+class Parameter:
+    """A trainable array together with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.value = np.asarray(value, dtype=float)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class providing parameter discovery and gradient bookkeeping."""
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its sub-modules."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        for attr in self.__dict__.values():
+            found.extend(_collect_parameters(attr, seen))
+        return found
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients of every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def n_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    # Subclasses implement forward/backward.
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+def _collect_parameters(obj, seen: set[int]) -> list[Parameter]:
+    out: list[Parameter] = []
+    if isinstance(obj, Parameter):
+        if id(obj) not in seen:
+            seen.add(id(obj))
+            out.append(obj)
+    elif isinstance(obj, Module):
+        for attr in obj.__dict__.values():
+            out.extend(_collect_parameters(attr, seen))
+    elif isinstance(obj, (list, tuple)):
+        for item in obj:
+            out.extend(_collect_parameters(item, seen))
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            out.extend(_collect_parameters(item, seen))
+    return out
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` on the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+        name: str = "linear",
+    ):
+        rng = default_rng(rng)
+        # Xavier/Glorot uniform initialisation keeps activations O(1).
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(
+            rng.uniform(-limit, limit, size=(in_features, out_features)), name=f"{name}.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias") if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+        self._cache_x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"expected last dim {self.in_features}, got {x.shape[-1]}")
+        self._cache_x = x
+        y = x @ self.weight.value
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._cache_x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.asarray(grad_out, dtype=float)
+        x2d = x.reshape(-1, self.in_features)
+        g2d = grad_out.reshape(-1, self.out_features)
+        self.weight.grad += x2d.T @ g2d
+        if self.bias is not None:
+            self.bias.grad += g2d.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis with learned scale and shift."""
+
+    def __init__(self, dim: int, eps: float = 1.0e-5, name: str = "ln"):
+        self.gamma = Parameter(np.ones(dim), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim), name=f"{name}.beta")
+        self.dim = dim
+        self.eps = eps
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return x_hat * self.gamma.value + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        grad_out = np.asarray(grad_out, dtype=float)
+
+        self.gamma.grad += np.sum(grad_out * x_hat, axis=tuple(range(grad_out.ndim - 1)))
+        self.beta.grad += np.sum(grad_out, axis=tuple(range(grad_out.ndim - 1)))
+
+        d_xhat = grad_out * self.gamma.value
+        # Standard LayerNorm backward over the last axis.
+        mean_dxhat = d_xhat.mean(axis=-1, keepdims=True)
+        mean_dxhat_xhat = (d_xhat * x_hat).mean(axis=-1, keepdims=True)
+        return inv_std * (d_xhat - mean_dxhat - x_hat * mean_dxhat_xhat)
+
+
+class GELU(Module):
+    """Gaussian Error Linear Unit (tanh approximation, as used by ViT MLPs)."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def __init__(self):
+        self._cache_x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        self._cache_x = x
+        inner = self._C * (x + 0.044715 * x**3)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._cache_x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        inner = self._C * (x + 0.044715 * x**3)
+        tanh_inner = np.tanh(inner)
+        sech_sq = 1.0 - tanh_inner**2
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech_sq * d_inner
+        return grad_out * grad
+
+
+class Dropout(Module):
+    """Inverted dropout; active only when ``training=True``."""
+
+    def __init__(self, rate: float = 0.0, rng: np.random.Generator | int | None = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must lie in [0, 1)")
+        self.rate = rate
+        self.rng = default_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class DropPath(Module):
+    """Stochastic depth: randomly drop the whole residual branch per sample.
+
+    The ViT surrogate of the paper uses DropPath together with Dropout to
+    address overfitting (§III-B a).  The drop decision is made per leading
+    (batch) index so different samples take different depths.
+    """
+
+    def __init__(self, rate: float = 0.0, rng: np.random.Generator | int | None = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("drop-path rate must lie in [0, 1)")
+        self.rate = rate
+        self.rng = default_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        shape = (x.shape[0],) + (1,) * (x.ndim - 1)
+        self._mask = (self.rng.random(shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Sequential(Module):
+    """Compose modules in order (used for small heads and test fixtures)."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for module in self.modules:
+            x = module.forward(x, training=training)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad_out = module.backward(grad_out)
+        return grad_out

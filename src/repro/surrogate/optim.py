@@ -1,0 +1,104 @@
+"""Optimisers for surrogate training.
+
+Adam is the paper's optimiser (its two moment buffers are what drive the
+"optimizer states = 2× parameters" memory accounting of Table I); SGD with
+momentum is provided for ablations and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.layers import Parameter
+
+__all__ = ["Adam", "SGD", "clip_gradients"]
+
+
+def clip_gradients(parameters: list[Parameter], max_norm: float) -> float:
+    """Clip the global gradient norm to ``max_norm``; returns the pre-clip norm."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total_sq = 0.0
+    for p in parameters:
+        total_sq += float(np.sum(p.grad**2))
+    norm = float(np.sqrt(total_sq))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in parameters:
+            p.grad *= scale
+    return norm
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba 2015) with optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1.0e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1.0e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not (0 <= betas[0] < 1 and 0 <= betas[1] < 1):
+            raise ValueError("betas must lie in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+
+    def state_memory_bytes(self) -> int:
+        """Bytes held in optimiser state (the 2× of Table I's accounting)."""
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self.step_count += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self.step_count
+        bias2 = 1.0 - b2**self.step_count
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            grad = p.grad
+            if self.weight_decay > 0.0:
+                p.value *= 1.0 - self.lr * self.weight_decay
+            m *= b1
+            m += (1.0 - b1) * grad
+            v *= b2
+            v += (1.0 - b2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 1.0e-2, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.value += v
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()

@@ -1,0 +1,96 @@
+"""Patchify / unpatchify and the patch-embedding layer of the SQG-ViT.
+
+The SQG state is a two-channel image (the two boundary temperature fields).
+It is split into non-overlapping ``P × P`` patches, each flattened and
+linearly projected into the embedding space — the standard ViT tokenisation.
+The inverse operation reassembles predicted patches into a field, which is
+how the surrogate produces its next-state forecast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surrogate.layers import Linear, Module, Parameter
+from repro.utils.random import default_rng
+
+__all__ = ["patchify", "unpatchify", "PatchEmbed"]
+
+
+def patchify(fields: np.ndarray, patch_size: int) -> np.ndarray:
+    """Split ``(B, C, H, W)`` fields into flattened patches ``(B, N, P·P·C)``.
+
+    ``N = (H/P) · (W/P)`` and patches are ordered row-major over the patch
+    grid; channel values of a patch are kept contiguous so the inverse is a
+    pure reshape.
+    """
+    fields = np.asarray(fields, dtype=float)
+    if fields.ndim != 4:
+        raise ValueError("expected fields of shape (B, C, H, W)")
+    b, c, h, w = fields.shape
+    if h % patch_size or w % patch_size:
+        raise ValueError(f"field size {(h, w)} not divisible by patch size {patch_size}")
+    hp, wp = h // patch_size, w // patch_size
+    x = fields.reshape(b, c, hp, patch_size, wp, patch_size)
+    x = x.transpose(0, 2, 4, 1, 3, 5)  # (B, hp, wp, C, P, P)
+    return x.reshape(b, hp * wp, c * patch_size * patch_size)
+
+
+def unpatchify(patches: np.ndarray, patch_size: int, channels: int, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`patchify`: ``(B, N, P·P·C)`` → ``(B, C, H, W)``."""
+    patches = np.asarray(patches, dtype=float)
+    if patches.ndim != 3:
+        raise ValueError("expected patches of shape (B, N, patch_dim)")
+    b, n, patch_dim = patches.shape
+    hp, wp = height // patch_size, width // patch_size
+    if n != hp * wp:
+        raise ValueError(f"token count {n} incompatible with grid {(hp, wp)}")
+    if patch_dim != channels * patch_size * patch_size:
+        raise ValueError("patch dimension incompatible with channels and patch size")
+    x = patches.reshape(b, hp, wp, channels, patch_size, patch_size)
+    x = x.transpose(0, 3, 1, 4, 2, 5)  # (B, C, hp, P, wp, P)
+    return x.reshape(b, channels, height, width)
+
+
+class PatchEmbed(Module):
+    """Patchify + linear projection + learned positional embedding."""
+
+    def __init__(
+        self,
+        image_size: int,
+        patch_size: int,
+        channels: int,
+        embed_dim: int,
+        rng: np.random.Generator | int | None = None,
+        name: str = "patch_embed",
+    ):
+        if image_size % patch_size:
+            raise ValueError("image_size must be divisible by patch_size")
+        rng = default_rng(rng)
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.channels = channels
+        self.embed_dim = embed_dim
+        self.n_patches = (image_size // patch_size) ** 2
+        self.patch_dim = channels * patch_size * patch_size
+
+        self.proj = Linear(self.patch_dim, embed_dim, rng=rng, name=f"{name}.proj")
+        self.pos_embed = Parameter(
+            0.02 * rng.standard_normal((1, self.n_patches, embed_dim)),
+            name=f"{name}.pos_embed",
+        )
+
+    def forward(self, fields: np.ndarray, training: bool = False) -> np.ndarray:
+        patches = patchify(fields, self.patch_size)
+        tokens = self.proj.forward(patches, training=training)
+        return tokens + self.pos_embed.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = np.asarray(grad_out, dtype=float)
+        self.pos_embed.grad += grad_out.sum(axis=0, keepdims=True)
+        grad_patches = self.proj.backward(grad_out)
+        # Return the gradient with respect to the input fields.
+        b = grad_patches.shape[0]
+        return unpatchify(
+            grad_patches, self.patch_size, self.channels, self.image_size, self.image_size
+        ).reshape(b, self.channels, self.image_size, self.image_size)

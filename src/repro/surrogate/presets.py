@@ -1,0 +1,71 @@
+"""ViT architecture presets.
+
+``TABLE_II_PRESETS`` reproduces Table II of the paper exactly (input sizes
+64², 128², 256² with 157M, 1.2B and 2.5B parameters); these configurations
+are used by the FLOPs/memory/scaling models.  ``laptop_preset`` returns a
+small configuration that trains in seconds on a CPU and is used for the
+accuracy experiments and the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.surrogate.vit import ViTConfig
+
+__all__ = ["TABLE_II_PRESETS", "preset_by_input_size", "laptop_preset"]
+
+
+#: The three architectures of Table II: input → (patch, layers, heads, embed, mlp ratio).
+TABLE_II_PRESETS: dict[int, ViTConfig] = {
+    64: ViTConfig(
+        image_size=64, patch_size=4, channels=2, depth=12, num_heads=8, embed_dim=1024, mlp_ratio=4.0
+    ),
+    128: ViTConfig(
+        image_size=128, patch_size=4, channels=2, depth=24, num_heads=8, embed_dim=2048, mlp_ratio=4.0
+    ),
+    256: ViTConfig(
+        image_size=256, patch_size=4, channels=2, depth=48, num_heads=8, embed_dim=2048, mlp_ratio=4.0
+    ),
+}
+
+#: Parameter counts the paper reports for each Table II input size.
+TABLE_II_REPORTED_PARAMS: dict[int, float] = {64: 157.0e6, 128: 1.2e9, 256: 2.5e9}
+
+
+def preset_by_input_size(input_size: int) -> ViTConfig:
+    """Return the Table II architecture for the given input size (64/128/256)."""
+    try:
+        return TABLE_II_PRESETS[int(input_size)]
+    except KeyError as exc:
+        raise KeyError(
+            f"no Table II preset for input size {input_size}; available: {sorted(TABLE_II_PRESETS)}"
+        ) from exc
+
+
+def laptop_preset(
+    image_size: int = 64,
+    patch_size: int = 8,
+    depth: int = 2,
+    embed_dim: int = 64,
+    num_heads: int = 4,
+    dropout: float = 0.0,
+    drop_path: float = 0.0,
+) -> ViTConfig:
+    """A CPU-trainable SQG-ViT used for accuracy experiments and tests.
+
+    The architecture keeps the structure of the paper's surrogate (same block
+    design, same tokenisation of the two-level SQG state) but shrinks depth
+    and width so that offline pre-training plus per-cycle online fine-tuning
+    run in seconds.
+    """
+    return ViTConfig(
+        image_size=image_size,
+        patch_size=patch_size,
+        channels=2,
+        depth=depth,
+        num_heads=num_heads,
+        embed_dim=embed_dim,
+        mlp_ratio=4.0,
+        dropout=dropout,
+        attn_dropout=0.0,
+        drop_path=drop_path,
+    )

@@ -1,0 +1,205 @@
+"""Offline pre-training and online fine-tuning of the ViT surrogate.
+
+The paper's workflow (Fig. 1) trains the surrogate in two regimes:
+
+* **offline**: on pairs of consecutive model states sampled from a long
+  integration of the forecast model (physics-based SQG here, but it could be
+  an AI foundation model);
+* **online**: at every analysis cycle, the surrogate is fine-tuned with the
+  newly available information (the analysis states that already incorporate
+  observations), which is the "real-time adaptation through the integration
+  of observational data" the abstract emphasises — and the reason the
+  training must scale on HPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.base import ForecastModel
+from repro.surrogate.optim import Adam, clip_gradients
+from repro.surrogate.vit import SQGViTSurrogate, StateNormalizer, ViTConfig, VisionTransformer
+from repro.utils.random import default_rng
+
+__all__ = ["TrainingConfig", "TrajectoryDataset", "OfflineTrainer", "OnlineTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Optimisation hyper-parameters shared by offline and online training."""
+
+    learning_rate: float = 1.0e-3
+    batch_size: int = 8
+    epochs: int = 20
+    grad_clip: float = 1.0
+    weight_decay: float = 0.0
+    online_iterations: int = 4
+    online_learning_rate: float = 5.0e-4
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0 or self.online_learning_rate <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.batch_size < 1 or self.epochs < 1 or self.online_iterations < 0:
+            raise ValueError("batch_size/epochs must be positive")
+
+
+class TrajectoryDataset:
+    """Input/target pairs ``(X_k, X_{k+1})`` extracted from a model trajectory.
+
+    Parameters
+    ----------
+    snapshots:
+        Trajectory of physical fields, shape ``(T, C, H, W)``, saved one
+        analysis interval apart.
+    """
+
+    def __init__(self, snapshots: np.ndarray):
+        snapshots = np.asarray(snapshots, dtype=float)
+        if snapshots.ndim != 4 or snapshots.shape[0] < 2:
+            raise ValueError("snapshots must have shape (T >= 2, C, H, W)")
+        self.snapshots = snapshots
+        self.normalizer = StateNormalizer.from_samples(snapshots)
+
+    @classmethod
+    def from_model(
+        cls,
+        model: ForecastModel,
+        initial_state: np.ndarray,
+        n_pairs: int,
+        steps_per_pair: int,
+        grid_shape: tuple[int, int, int],
+    ) -> "TrajectoryDataset":
+        """Generate a dataset by integrating ``model`` from ``initial_state``.
+
+        ``initial_state`` is a flattened state; snapshots are taken every
+        ``steps_per_pair`` model steps (the analysis interval).
+        """
+        if n_pairs < 1:
+            raise ValueError("n_pairs must be positive")
+        state = np.asarray(initial_state, dtype=float)
+        snaps = [state.reshape(grid_shape)]
+        for _ in range(n_pairs):
+            state = model.forecast(state, n_steps=steps_per_pair)
+            snaps.append(state.reshape(grid_shape))
+        return cls(np.array(snaps))
+
+    def __len__(self) -> int:
+        return self.snapshots.shape[0] - 1
+
+    def pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All (input, target) pairs in normalised space."""
+        norm = self.normalizer.normalize(self.snapshots)
+        return norm[:-1], norm[1:]
+
+    def batches(self, batch_size: int, rng: np.random.Generator):
+        """Yield shuffled mini-batches of normalised (input, target) pairs."""
+        inputs, targets = self.pairs()
+        order = rng.permutation(len(self))
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield inputs[idx], targets[idx]
+
+
+def mse_loss_and_grad(prediction: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean-squared-error loss and its gradient with respect to the prediction."""
+    diff = prediction - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+class OfflineTrainer:
+    """Pre-train the surrogate on a trajectory of the forecast model."""
+
+    def __init__(
+        self,
+        network: VisionTransformer,
+        config: TrainingConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ):
+        self.network = network
+        self.config = config or TrainingConfig()
+        self.rng = default_rng(rng)
+        self.optimizer = Adam(
+            network.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        self.loss_history: list[float] = []
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One optimisation step on a mini-batch of normalised fields."""
+        self.optimizer.zero_grad()
+        prediction = self.network.forward(inputs, training=True)
+        loss, grad = mse_loss_and_grad(prediction, targets)
+        self.network.backward(grad)
+        clip_gradients(self.network.parameters(), self.config.grad_clip)
+        self.optimizer.step()
+        return loss
+
+    def fit(self, dataset: TrajectoryDataset) -> list[float]:
+        """Run the configured number of epochs; returns per-epoch mean losses."""
+        epoch_losses = []
+        for _ in range(self.config.epochs):
+            losses = [
+                self.train_step(x, y)
+                for x, y in dataset.batches(self.config.batch_size, self.rng)
+            ]
+            epoch_loss = float(np.mean(losses))
+            epoch_losses.append(epoch_loss)
+            self.loss_history.append(epoch_loss)
+        return epoch_losses
+
+    def build_surrogate(
+        self, dataset: TrajectoryDataset, grid_shape: tuple[int, int, int], steps_per_application: int
+    ) -> SQGViTSurrogate:
+        """Wrap the trained network as a :class:`SQGViTSurrogate`."""
+        return SQGViTSurrogate(
+            self.network,
+            dataset.normalizer,
+            grid_shape,
+            steps_per_application=steps_per_application,
+        )
+
+
+class OnlineTrainer:
+    """Per-cycle fine-tuning of the surrogate with newly assimilated states.
+
+    At analysis cycle ``k`` the workflow has access to the previous analysis
+    ensemble mean (the surrogate's input at cycle ``k``) and the new analysis
+    mean which already blends the observation ``y_k``.  A few Adam iterations
+    on this pair adapt the surrogate in real time (paper §III-B); the cost of
+    this step is what the ViT scaling experiments measure.
+    """
+
+    def __init__(
+        self,
+        surrogate: SQGViTSurrogate,
+        config: TrainingConfig | None = None,
+    ):
+        self.surrogate = surrogate
+        self.config = config or TrainingConfig()
+        self.optimizer = Adam(
+            surrogate.network.parameters(), lr=self.config.online_learning_rate
+        )
+        self.loss_history: list[float] = []
+
+    def update(self, previous_state: np.ndarray, new_state: np.ndarray) -> float:
+        """Fine-tune on the transition ``previous_state → new_state`` (flattened)."""
+        grid_shape = self.surrogate.grid_shape
+        normalizer = self.surrogate.normalizer
+        x = normalizer.normalize(np.asarray(previous_state, dtype=float).reshape((1,) + grid_shape))
+        y = normalizer.normalize(np.asarray(new_state, dtype=float).reshape((1,) + grid_shape))
+
+        last_loss = 0.0
+        for _ in range(self.config.online_iterations):
+            self.optimizer.zero_grad()
+            prediction = self.surrogate.network.forward(x, training=True)
+            last_loss, grad = mse_loss_and_grad(prediction, y)
+            self.surrogate.network.backward(grad)
+            clip_gradients(self.surrogate.network.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+        self.loss_history.append(last_loss)
+        return last_loss

@@ -1,0 +1,231 @@
+"""The SQG-ViT surrogate model (paper §III-B, Fig. 2).
+
+The surrogate maps the current (normalised) SQG state — a two-channel image —
+to the state one analysis interval later.  Architecture: patch embedding with
+learned positional embeddings, a stack of pre-norm transformer blocks
+(multi-head self-attention + MLP with Dropout/DropPath), a final LayerNorm
+and a linear prediction head that is un-patchified back into a field.  The
+network predicts the state *increment* and adds it to its input, which makes
+the identity map the trivial starting point and stabilises training on
+chaotic dynamics.
+
+:class:`SQGViTSurrogate` wraps the network together with a
+:class:`StateNormalizer` and exposes the
+:class:`repro.models.base.ForecastModel` protocol, so the DA layer can use it
+interchangeably with the physics model (the central design point of Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.surrogate.blocks import TransformerBlock
+from repro.surrogate.layers import LayerNorm, Linear, Module
+from repro.surrogate.patch import PatchEmbed, patchify, unpatchify
+from repro.utils.random import default_rng, split_rng
+
+__all__ = ["ViTConfig", "VisionTransformer", "StateNormalizer", "SQGViTSurrogate"]
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """Architecture hyper-parameters of the SQG-ViT (cf. Table II).
+
+    Attributes
+    ----------
+    image_size:
+        Side length of the (square) input field.
+    patch_size:
+        Patch side length (Table II uses 4).
+    channels:
+        Number of input channels (2 boundary levels for SQG).
+    depth:
+        Number of transformer blocks.
+    num_heads:
+        Attention heads (Table II fixes 8).
+    embed_dim:
+        Token embedding dimension.
+    mlp_ratio:
+        MLP hidden size / embedding dimension (Table II uses 4).
+    dropout, attn_dropout, drop_path:
+        Regularisation rates (paper §III-B a).
+    """
+
+    image_size: int = 64
+    patch_size: int = 4
+    channels: int = 2
+    depth: int = 12
+    num_heads: int = 8
+    embed_dim: int = 1024
+    mlp_ratio: float = 4.0
+    dropout: float = 0.0
+    attn_dropout: float = 0.0
+    drop_path: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.image_size % self.patch_size:
+            raise ValueError("image_size must be divisible by patch_size")
+        if self.embed_dim % self.num_heads:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        if self.depth < 1:
+            raise ValueError("depth must be at least 1")
+
+    @property
+    def n_patches(self) -> int:
+        """Number of tokens per input image."""
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def patch_dim(self) -> int:
+        """Flattened patch dimension ``P·P·C``."""
+        return self.channels * self.patch_size**2
+
+
+class VisionTransformer(Module):
+    """ViT encoder predicting a next-state increment field."""
+
+    def __init__(self, config: ViTConfig, rng: np.random.Generator | int | None = None):
+        rng = default_rng(rng)
+        rngs = split_rng(rng, config.depth + 3)
+        self.config = config
+        self.patch_embed = PatchEmbed(
+            config.image_size, config.patch_size, config.channels, config.embed_dim, rng=rngs[0]
+        )
+        self.blocks = [
+            TransformerBlock(
+                config.embed_dim,
+                config.num_heads,
+                mlp_ratio=config.mlp_ratio,
+                dropout=config.dropout,
+                attn_dropout=config.attn_dropout,
+                drop_path=config.drop_path,
+                rng=rngs[1 + i],
+                name=f"block{i}",
+            )
+            for i in range(config.depth)
+        ]
+        self.norm = LayerNorm(config.embed_dim, name="final_norm")
+        self.head = Linear(config.embed_dim, config.patch_dim, rng=rngs[-1], name="head")
+        # Start the head at zero so the untrained network is the identity map.
+        self.head.weight.value[:] = 0.0
+        if self.head.bias is not None:
+            self.head.bias.value[:] = 0.0
+
+    # ------------------------------------------------------------------ #
+    def forward(self, fields: np.ndarray, training: bool = False) -> np.ndarray:
+        """Predict the next state for fields of shape ``(B, C, H, W)``."""
+        fields = np.asarray(fields, dtype=float)
+        cfg = self.config
+        if fields.ndim != 4 or fields.shape[1:] != (cfg.channels, cfg.image_size, cfg.image_size):
+            raise ValueError(
+                f"expected (B, {cfg.channels}, {cfg.image_size}, {cfg.image_size}), got {fields.shape}"
+            )
+        tokens = self.patch_embed.forward(fields, training=training)
+        for block in self.blocks:
+            tokens = block.forward(tokens, training=training)
+        tokens = self.norm.forward(tokens, training=training)
+        patches = self.head.forward(tokens, training=training)
+        increment = unpatchify(
+            patches, cfg.patch_size, cfg.channels, cfg.image_size, cfg.image_size
+        )
+        return fields + increment
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate a gradient with respect to the predicted field."""
+        cfg = self.config
+        grad_out = np.asarray(grad_out, dtype=float)
+        grad_patches = patchify(grad_out, cfg.patch_size)
+        grad_tokens = self.head.backward(grad_patches)
+        grad_tokens = self.norm.backward(grad_tokens)
+        for block in reversed(self.blocks):
+            grad_tokens = block.backward(grad_tokens)
+        grad_fields = self.patch_embed.backward(grad_tokens)
+        # Residual connection: output = fields + increment.
+        return grad_fields + grad_out
+
+
+class StateNormalizer:
+    """Affine normalisation of physical states for surrogate training.
+
+    ViTs train best on O(1) inputs; the normaliser records a climatological
+    mean and standard deviation (per channel) and maps physical states to
+    normalised space and back.
+    """
+
+    def __init__(self, mean: np.ndarray, std: np.ndarray):
+        self.mean = np.asarray(mean, dtype=float)
+        self.std = np.asarray(std, dtype=float)
+        if np.any(self.std <= 0):
+            raise ValueError("normalisation std must be positive")
+
+    @classmethod
+    def from_samples(cls, fields: np.ndarray) -> "StateNormalizer":
+        """Fit per-channel statistics from fields of shape ``(B, C, H, W)``."""
+        fields = np.asarray(fields, dtype=float)
+        if fields.ndim != 4:
+            raise ValueError("expected samples of shape (B, C, H, W)")
+        mean = fields.mean(axis=(0, 2, 3), keepdims=True)[0]
+        std = fields.std(axis=(0, 2, 3), keepdims=True)[0]
+        std = np.maximum(std, 1.0e-8)
+        return cls(mean, std)
+
+    def normalize(self, fields: np.ndarray) -> np.ndarray:
+        return (np.asarray(fields, dtype=float) - self.mean) / self.std
+
+    def denormalize(self, fields: np.ndarray) -> np.ndarray:
+        return np.asarray(fields, dtype=float) * self.std + self.mean
+
+
+class SQGViTSurrogate:
+    """ForecastModel adapter: flattened SQG states in, flattened states out.
+
+    Parameters
+    ----------
+    network:
+        The trained (or online-trained) :class:`VisionTransformer`.
+    normalizer:
+        Climatological normaliser fitted on the training trajectory.
+    grid_shape:
+        Physical state shape ``(nlev, ny, nx)``.
+    steps_per_application:
+        Number of physics-model steps one surrogate application emulates
+        (i.e. the analysis interval it was trained on).  ``forecast`` with
+        ``n_steps = k * steps_per_application`` applies the network ``k``
+        times.
+    """
+
+    def __init__(
+        self,
+        network: VisionTransformer,
+        normalizer: StateNormalizer,
+        grid_shape: tuple[int, int, int],
+        steps_per_application: int = 1,
+    ):
+        if len(grid_shape) != 3:
+            raise ValueError("grid_shape must be (nlev, ny, nx)")
+        self.network = network
+        self.normalizer = normalizer
+        self.grid_shape = tuple(int(v) for v in grid_shape)
+        self.steps_per_application = int(steps_per_application)
+        self.state_size = int(np.prod(self.grid_shape))
+
+    def _to_fields(self, states: np.ndarray) -> np.ndarray:
+        return states.reshape((-1,) + self.grid_shape)
+
+    def forecast(self, state: np.ndarray, n_steps: int = 1) -> np.ndarray:
+        """Advance flattened state(s) by ``n_steps`` physics-equivalent steps."""
+        state = np.asarray(state, dtype=float)
+        squeeze = state.ndim == 1
+        states = np.atleast_2d(state)
+        if states.shape[1] != self.state_size:
+            raise ValueError(
+                f"state size {states.shape[1]} != surrogate state size {self.state_size}"
+            )
+        n_apps = max(1, int(round(n_steps / self.steps_per_application)))
+        fields = self.normalizer.normalize(self._to_fields(states))
+        for _ in range(n_apps):
+            fields = self.network.forward(fields, training=False)
+        out = self.normalizer.denormalize(fields).reshape(states.shape)
+        return out[0] if squeeze else out

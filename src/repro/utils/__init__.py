@@ -1,0 +1,30 @@
+"""Shared utilities: RNG handling, grid geometry, spectra and timing."""
+
+from repro.utils.random import SeedSequenceFactory, default_rng, split_rng
+from repro.utils.grid import (
+    Grid2D,
+    periodic_distance_matrix,
+    periodic_delta,
+    chord_distance_km,
+)
+from repro.utils.spectra import (
+    isotropic_spectrum,
+    spectral_slope,
+    kinetic_energy_spectrum,
+)
+from repro.utils.timing import Timer, Stopwatch
+
+__all__ = [
+    "SeedSequenceFactory",
+    "default_rng",
+    "split_rng",
+    "Grid2D",
+    "periodic_distance_matrix",
+    "periodic_delta",
+    "chord_distance_km",
+    "isotropic_spectrum",
+    "spectral_slope",
+    "kinetic_energy_spectrum",
+    "Timer",
+    "Stopwatch",
+]

@@ -1,0 +1,109 @@
+"""Reproducible random-number-generator helpers.
+
+Every stochastic component in the library (SQG initial conditions, model-error
+mixture, observation noise, EnSF reverse-SDE noise, ViT weight init, dropout)
+accepts either a seed or a :class:`numpy.random.Generator`.  These helpers
+centralise the conversion so that experiments are reproducible end to end and
+parallel workers receive statistically independent streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["default_rng", "split_rng", "SeedSequenceFactory"]
+
+
+def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged so callers can thread a single stream through).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def split_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Child streams are produced by spawning the parent's bit generator seed
+    sequence, which guarantees statistical independence — this is the
+    recommended pattern for per-ensemble-member or per-worker streams.
+    """
+    if n < 0:
+        raise ValueError(f"cannot split into a negative number of streams: {n}")
+    seed_seq = rng.bit_generator.seed_seq
+    if seed_seq is None:  # pragma: no cover - numpy always exposes seed_seq
+        seed_seq = np.random.SeedSequence()
+    children = seed_seq.spawn(n)
+    return [np.random.default_rng(child) for child in children]
+
+
+class SeedSequenceFactory:
+    """Deterministic factory of named, independent RNG streams.
+
+    Experiments contain several stochastic sub-systems (truth run, observation
+    noise, each filter's internal noise, surrogate initialisation).  Deriving
+    each stream from a *name* rather than from call order keeps results stable
+    when components are added, removed or reordered.
+
+    Examples
+    --------
+    >>> factory = SeedSequenceFactory(1234)
+    >>> rng_obs = factory.rng("observations")
+    >>> rng_truth = factory.rng("truth")
+    >>> factory.rng("observations").normal() == rng_obs.normal()
+    True
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+
+    def seed_for(self, name: str) -> np.random.SeedSequence:
+        """Return the seed sequence associated with ``name``."""
+        digest = np.frombuffer(name.encode("utf8"), dtype=np.uint8)
+        key = int(digest.sum()) + 1009 * len(name)
+        return np.random.SeedSequence(entropy=self.root_seed, spawn_key=(key,))
+
+    def rng(self, name: str) -> np.random.Generator:
+        """Return a fresh generator for stream ``name`` (same name → same stream)."""
+        return np.random.default_rng(self.seed_for(name))
+
+    def rngs(self, names: Iterable[str]) -> dict[str, np.random.Generator]:
+        """Return a dictionary of generators for several stream names."""
+        return {name: self.rng(name) for name in names}
+
+    def member_rngs(self, name: str, n_members: int) -> list[np.random.Generator]:
+        """Return ``n_members`` independent streams under a common ``name``."""
+        base = self.seed_for(name)
+        return [np.random.default_rng(child) for child in base.spawn(n_members)]
+
+
+def sample_from_catalogue(
+    catalogue: Sequence[np.ndarray] | np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+    replace: bool = True,
+) -> np.ndarray:
+    """Draw ``n`` states from a catalogue of model states.
+
+    Used to build initial ensembles by "random selection of model states from
+    a long-term integration" (paper §IV-A).  Returns an array of shape
+    ``(n,) + state_shape``.
+    """
+    catalogue = np.asarray(catalogue)
+    if catalogue.ndim < 2:
+        raise ValueError("catalogue must have shape (n_states, ...)")
+    if not replace and n > catalogue.shape[0]:
+        raise ValueError(
+            f"cannot draw {n} states without replacement from {catalogue.shape[0]}"
+        )
+    idx = rng.choice(catalogue.shape[0], size=n, replace=replace)
+    return catalogue[idx].copy()

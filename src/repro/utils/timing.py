@@ -1,0 +1,75 @@
+"""Lightweight timing helpers for the benchmark harness and profiler."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """Context manager measuring wall-clock time of a code block.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Used by the real-time workflow to attribute wall time to the two
+    sequential scalability tasks of the paper (online ViT training and EnSF
+    execution) plus the forecast step.
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+    _open: dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str) -> None:
+        """Start timing the lap ``name``."""
+        self._open[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        """Stop the lap ``name`` and return the elapsed time of this lap."""
+        if name not in self._open:
+            raise KeyError(f"lap {name!r} was never started")
+        dt = time.perf_counter() - self._open.pop(name)
+        self.laps[name] = self.laps.get(name, 0.0) + dt
+        self.counts[name] = self.counts.get(name, 0) + 1
+        return dt
+
+    def total(self) -> float:
+        """Total accumulated time over all laps."""
+        return float(sum(self.laps.values()))
+
+    def mean(self, name: str) -> float:
+        """Mean time per occurrence of lap ``name``."""
+        if self.counts.get(name, 0) == 0:
+            raise KeyError(f"lap {name!r} has no recorded occurrences")
+        return self.laps[name] / self.counts[name]
+
+    def fractions(self) -> dict[str, float]:
+        """Fraction of total time spent in each lap (sums to 1 when nonempty)."""
+        total = self.total()
+        if total == 0.0:
+            return {name: 0.0 for name in self.laps}
+        return {name: value / total for name, value in self.laps.items()}

@@ -1,0 +1,22 @@
+"""End-to-end real-time data-assimilation workflow (Fig. 1 of the paper)."""
+
+from repro.workflow.config import ExperimentConfig
+from repro.workflow.metrics import rmse_series, pattern_correlation, error_field
+from repro.workflow.experiments import (
+    FourWayComparison,
+    run_four_experiments,
+    build_sqg_testbed,
+)
+from repro.workflow.realtime import RealTimeDAWorkflow, WorkflowTimings
+
+__all__ = [
+    "ExperimentConfig",
+    "rmse_series",
+    "pattern_correlation",
+    "error_field",
+    "FourWayComparison",
+    "run_four_experiments",
+    "build_sqg_testbed",
+    "RealTimeDAWorkflow",
+    "WorkflowTimings",
+]

@@ -1,0 +1,45 @@
+"""Verification metrics used by the experiments (Figs. 4 and 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse_series", "pattern_correlation", "error_field", "spread_skill_ratio"]
+
+
+def rmse_series(predictions: np.ndarray, truths: np.ndarray) -> np.ndarray:
+    """Per-time RMSE between two trajectories of flattened states ``(T, d)``."""
+    predictions = np.asarray(predictions, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if predictions.shape != truths.shape:
+        raise ValueError("trajectories must have the same shape")
+    return np.sqrt(np.mean((predictions - truths) ** 2, axis=-1))
+
+
+def pattern_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Anomaly (pattern) correlation between two states."""
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.sqrt((a**2).sum() * (b**2).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((a * b).sum() / denom)
+
+
+def error_field(analysis_mean: np.ndarray, truth: np.ndarray, grid_shape) -> np.ndarray:
+    """Analysis-mean error field reshaped to ``(nlev, ny, nx)`` (Fig. 5, bottom row)."""
+    analysis_mean = np.asarray(analysis_mean, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    return (analysis_mean - truth).reshape(grid_shape)
+
+
+def spread_skill_ratio(spread: np.ndarray, rmse: np.ndarray) -> float:
+    """Time-mean ratio of ensemble spread to RMSE (≈1 for a calibrated ensemble)."""
+    spread = np.asarray(spread, dtype=float)
+    rmse = np.asarray(rmse, dtype=float)
+    mask = rmse > 0
+    if not mask.any():
+        return 0.0
+    return float(np.mean(spread[mask] / rmse[mask]))

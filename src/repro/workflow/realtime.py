@@ -1,0 +1,211 @@
+"""The real-time sequential DA workflow of Fig. 1.
+
+Each analysis cycle performs, in order:
+
+1. **surrogate forecast** of the ensemble to the new observation time;
+2. **EnSF analysis** blending the new observation into the ensemble;
+3. **online ViT training** on the newly available analysis (the "real-time
+   adaptation through the integration of observational data");
+
+and records the wall-clock time of each stage.  The paper's central HPC
+observation is that steps 2 and 3 run sequentially every cycle, so the
+workflow time is their sum — which is why both must scale on the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ensf import EnSF, EnSFConfig
+from repro.core.filters import ensemble_statistics, relax_spread
+from repro.core.observations import ObservationOperator
+from repro.da.cycling import rmse
+from repro.models.base import ForecastModel
+from repro.models.model_error import StochasticModelErrorMixture
+from repro.surrogate.training import OnlineTrainer, TrainingConfig
+from repro.surrogate.vit import SQGViTSurrogate
+from repro.utils.random import SeedSequenceFactory
+from repro.utils.timing import Stopwatch
+
+__all__ = ["WorkflowTimings", "RealTimeDAWorkflow"]
+
+
+@dataclass
+class WorkflowTimings:
+    """Accumulated per-stage wall-clock time of the real-time workflow."""
+
+    forecast: float = 0.0
+    analysis: float = 0.0
+    online_training: float = 0.0
+    n_cycles: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.forecast + self.analysis + self.online_training
+
+    def per_cycle(self) -> dict[str, float]:
+        """Mean seconds per cycle spent in each stage."""
+        n = max(self.n_cycles, 1)
+        return {
+            "forecast": self.forecast / n,
+            "analysis": self.analysis / n,
+            "online_training": self.online_training / n,
+        }
+
+    def fractions(self) -> dict[str, float]:
+        """Fraction of workflow time per stage (the paper's two scalability tasks)."""
+        total = self.total
+        if total == 0.0:
+            return {"forecast": 0.0, "analysis": 0.0, "online_training": 0.0}
+        return {
+            "forecast": self.forecast / total,
+            "analysis": self.analysis / total,
+            "online_training": self.online_training / total,
+        }
+
+
+@dataclass
+class _CycleRecord:
+    cycle: int
+    forecast_rmse: float
+    analysis_rmse: float
+    analysis_spread: float
+    online_loss: float | None
+
+
+class RealTimeDAWorkflow:
+    """Couple a ViT surrogate with the EnSF in the Fig. 1 loop.
+
+    Parameters
+    ----------
+    surrogate:
+        The (pre-trained) ViT surrogate used for ensemble forecasts.
+    truth_model:
+        Physics model evolving the hidden truth (the "real atmosphere" of the
+        OSSE).
+    operator:
+        Observation operator.
+    ensf_config:
+        EnSF configuration.
+    training_config:
+        Online-training hyper-parameters; ``online_iterations = 0`` disables
+        the online-adaptation stage.
+    executor:
+        Optional :class:`repro.hpc.ensemble_parallel.EnsembleExecutor` to run
+        forecasts and EnSF member-parallel.
+    """
+
+    def __init__(
+        self,
+        surrogate: SQGViTSurrogate,
+        truth_model: ForecastModel,
+        operator: ObservationOperator,
+        ensf_config: EnSFConfig | None = None,
+        training_config: TrainingConfig | None = None,
+        model_error: StochasticModelErrorMixture | None = None,
+        executor=None,
+        seed: int = 0,
+    ):
+        self.surrogate = surrogate
+        self.truth_model = truth_model
+        self.operator = operator
+        self.seeds = SeedSequenceFactory(seed)
+        self.ensf = EnSF(ensf_config or EnSFConfig(), rng=self.seeds.rng("ensf"))
+        self.training_config = training_config or TrainingConfig()
+        self.online_trainer = (
+            OnlineTrainer(surrogate, self.training_config)
+            if self.training_config.online_iterations > 0
+            else None
+        )
+        self.model_error = model_error
+        self.executor = executor
+        self.timings = WorkflowTimings()
+        self.history: list[_CycleRecord] = []
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        truth0: np.ndarray,
+        initial_ensemble: np.ndarray,
+        n_cycles: int,
+        steps_per_cycle: int,
+    ) -> dict:
+        """Run ``n_cycles`` of the real-time workflow; returns a result summary."""
+        if n_cycles < 1 or steps_per_cycle < 1:
+            raise ValueError("n_cycles and steps_per_cycle must be positive")
+        truth = np.array(truth0, dtype=float)
+        ensemble = np.array(initial_ensemble, dtype=float)
+        rng_obs = self.seeds.rng("observations")
+        stopwatch = Stopwatch()
+        previous_analysis_mean = ensemble.mean(axis=0)
+
+        for cycle in range(n_cycles):
+            # Hidden truth evolution (physics model + unknown model error).
+            truth = self.truth_model.forecast(truth, n_steps=steps_per_cycle)
+            if self.model_error is not None:
+                truth = self.model_error.perturb(truth)
+            observation = self.operator.observe(truth, rng=rng_obs)
+
+            # 1. surrogate ensemble forecast
+            stopwatch.start("forecast")
+            if self.executor is None:
+                forecast = self.surrogate.forecast(ensemble, n_steps=steps_per_cycle)
+            else:
+                forecast = self.executor.map_states(self.surrogate, ensemble, n_steps=steps_per_cycle)
+            stopwatch.stop("forecast")
+            forecast_rmse = rmse(forecast.mean(axis=0), truth)
+
+            # 2. EnSF analysis
+            stopwatch.start("analysis")
+            if self.executor is None:
+                analysis = self.ensf.analyze(forecast, observation, self.operator)
+            else:
+                analysis = self.executor.analyze_ensf(
+                    self.ensf, forecast, observation, self.operator, seed=cycle
+                )
+                analysis = relax_spread(
+                    analysis, forecast, factor=self.ensf.config.spread_relaxation
+                )
+            stopwatch.stop("analysis")
+            stats = ensemble_statistics(analysis)
+
+            # 3. online surrogate adaptation on the newly observed transition
+            online_loss = None
+            if self.online_trainer is not None:
+                stopwatch.start("online_training")
+                online_loss = self.online_trainer.update(previous_analysis_mean, stats.mean)
+                stopwatch.stop("online_training")
+
+            previous_analysis_mean = stats.mean
+            ensemble = analysis
+            self.history.append(
+                _CycleRecord(
+                    cycle=cycle,
+                    forecast_rmse=forecast_rmse,
+                    analysis_rmse=rmse(stats.mean, truth),
+                    analysis_spread=stats.mean_spread,
+                    online_loss=online_loss,
+                )
+            )
+
+        self.timings = WorkflowTimings(
+            forecast=stopwatch.laps.get("forecast", 0.0),
+            analysis=stopwatch.laps.get("analysis", 0.0),
+            online_training=stopwatch.laps.get("online_training", 0.0),
+            n_cycles=n_cycles,
+        )
+        return self.summary(truth, ensemble)
+
+    # ------------------------------------------------------------------ #
+    def summary(self, truth: np.ndarray, ensemble: np.ndarray) -> dict:
+        """Final-state summary of the run."""
+        stats = ensemble_statistics(ensemble)
+        return {
+            "final_analysis_rmse": rmse(stats.mean, truth),
+            "final_spread": stats.mean_spread,
+            "analysis_rmse": np.array([h.analysis_rmse for h in self.history]),
+            "forecast_rmse": np.array([h.forecast_rmse for h in self.history]),
+            "timings": self.timings,
+        }

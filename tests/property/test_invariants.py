@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.filters import relax_spread
+from repro.core.schedules import LinearAlphaSchedule
+from repro.core.score import MonteCarloScoreEstimator
+from repro.da.inflation import rtps_inflation
+from repro.da.localization import gaspari_cohn
+from repro.hpc.collectives import CollectiveKind, CollectiveModel
+from repro.hpc.comm import LocalCommGroup
+from repro.hpc.ddp import bucketize
+from repro.surrogate.flops import vit_parameter_count
+from repro.surrogate.patch import patchify, unpatchify
+from repro.surrogate.vit import ViTConfig
+from repro.utils.grid import Grid2D
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    n_members=st.integers(2, 12),
+    dim=st.integers(1, 8),
+    t=st.floats(0.01, 0.99),
+    seed=st.integers(0, 1000),
+)
+def test_score_weights_always_normalised(n_members, dim, t, seed):
+    rng = np.random.default_rng(seed)
+    estimator = MonteCarloScoreEstimator(rng.normal(size=(n_members, dim)) * 3.0, rng=seed)
+    z = rng.normal(size=(4, dim)) * 2.0
+    weights = estimator.weights(z, t)
+    assert np.all(weights >= 0.0)
+    assert np.allclose(weights.sum(axis=1), 1.0, atol=1e-10)
+    assert np.isfinite(estimator.score(z, t)).all()
+
+
+@settings(**SETTINGS)
+@given(
+    cutoff=st.floats(1.0, 1.0e7),
+    distances=st.lists(st.floats(0.0, 5.0e7), min_size=1, max_size=30),
+)
+def test_gaspari_cohn_bounds_and_support(cutoff, distances):
+    d = np.array(distances)
+    w = gaspari_cohn(d, cutoff)
+    assert np.all((w >= 0.0) & (w <= 1.0))
+    assert np.all(w[d >= 2.0 * cutoff] == 0.0)
+
+
+@settings(**SETTINGS)
+@given(
+    m=st.integers(2, 10),
+    d=st.integers(1, 20),
+    factor=st.floats(0.0, 1.0),
+    seed=st.integers(0, 500),
+)
+def test_spread_relaxation_preserves_mean(m, d, factor, seed):
+    rng = np.random.default_rng(seed)
+    forecast = rng.normal(size=(m, d)) * 2.0
+    analysis = rng.normal(size=(m, d))
+    relaxed = relax_spread(analysis, forecast, factor=factor)
+    assert np.allclose(relaxed.mean(axis=0), analysis.mean(axis=0), atol=1e-10)
+    rtps = rtps_inflation(analysis, forecast, factor)
+    assert np.allclose(rtps.mean(axis=0), analysis.mean(axis=0), atol=1e-10)
+
+
+@settings(**SETTINGS)
+@given(
+    batch=st.integers(1, 3),
+    grid_exp=st.sampled_from([8, 16, 32]),
+    patch=st.sampled_from([2, 4, 8]),
+    channels=st.integers(1, 3),
+    seed=st.integers(0, 100),
+)
+def test_patchify_roundtrip(batch, grid_exp, patch, channels, seed):
+    fields = np.random.default_rng(seed).normal(size=(batch, channels, grid_exp, grid_exp))
+    patches = patchify(fields, patch)
+    assert patches.shape == (batch, (grid_exp // patch) ** 2, channels * patch * patch)
+    assert np.allclose(unpatchify(patches, patch, channels, grid_exp, grid_exp), fields)
+
+
+@settings(**SETTINGS)
+@given(
+    nx=st.sampled_from([4, 8, 16]),
+    ny=st.sampled_from([4, 8, 16]),
+    nlev=st.integers(1, 3),
+    seed=st.integers(0, 100),
+)
+def test_grid_flatten_roundtrip(nx, ny, nlev, seed):
+    grid = Grid2D(nx=nx, ny=ny, nlev=nlev)
+    state = np.random.default_rng(seed).normal(size=grid.shape)
+    assert np.allclose(grid.unflatten_state(grid.flatten_state(state)), state)
+
+
+@settings(**SETTINGS)
+@given(
+    n_ranks=st.integers(1, 6),
+    size=st.integers(1, 40),
+    seed=st.integers(0, 200),
+)
+def test_local_comm_allreduce_matches_numpy(n_ranks, size, seed):
+    rng = np.random.default_rng(seed)
+    comm = LocalCommGroup(n_ranks)
+    buffers = [rng.normal(size=size) for _ in range(n_ranks)]
+    out = comm.allreduce(buffers, op="sum")
+    expected = np.sum(buffers, axis=0)
+    assert all(np.allclose(o, expected) for o in out)
+    chunks = comm.reduce_scatter(buffers, op="sum")
+    assert np.allclose(np.concatenate(chunks)[:size], expected)
+
+
+@settings(**SETTINGS)
+@given(
+    total_mb=st.floats(0.0, 5000.0),
+    bucket_mb=st.floats(1.0, 1000.0),
+)
+def test_bucketize_conserves_volume(total_mb, bucket_mb):
+    buckets = bucketize(total_mb, bucket_mb)
+    assert sum(buckets) == (total_mb if total_mb > 0 else 0) or np.isclose(sum(buckets), total_mb)
+    assert all(0 < b <= bucket_mb + 1e-9 for b in buckets)
+
+
+@settings(**SETTINGS)
+@given(
+    depth=st.integers(1, 8),
+    embed_exp=st.sampled_from([64, 128, 256, 512]),
+    heads=st.sampled_from([2, 4, 8]),
+)
+def test_parameter_count_monotone_in_depth_and_width(depth, embed_exp, heads):
+    base = ViTConfig(image_size=32, patch_size=4, depth=depth, num_heads=heads, embed_dim=embed_exp)
+    deeper = ViTConfig(image_size=32, patch_size=4, depth=depth + 1, num_heads=heads, embed_dim=embed_exp)
+    wider = ViTConfig(image_size=32, patch_size=4, depth=depth, num_heads=heads, embed_dim=embed_exp * 2)
+    assert vit_parameter_count(deeper) > vit_parameter_count(base)
+    assert vit_parameter_count(wider) > vit_parameter_count(base)
+
+
+@settings(**SETTINGS)
+@given(
+    t=st.floats(0.001, 0.999),
+    eps_alpha=st.floats(0.0, 0.2),
+)
+def test_schedule_identity_holds_everywhere(t, eps_alpha):
+    s = LinearAlphaSchedule(eps_alpha=eps_alpha)
+    lhs = s.diffusion_sq(t)
+    rhs = s.dbeta_sq_dt(t) - 2.0 * s.drift_coeff(t) * s.beta_sq(t)
+    assert np.isclose(lhs, rhs)
+    assert s.beta_sq(t) > 0
+    assert s.alpha(t) > 0
+
+
+@settings(**SETTINGS)
+@given(
+    msg_mb=st.floats(1.0, 2048.0),
+    n_gpus=st.sampled_from([2, 8, 64, 512, 1024]),
+    kind=st.sampled_from(list(CollectiveKind)),
+)
+def test_collective_times_positive_and_finite(msg_mb, n_gpus, kind):
+    model = CollectiveModel()
+    t = model.time_seconds(kind, msg_mb * 2.0**20, n_gpus)
+    assert np.isfinite(t) and t > 0.0

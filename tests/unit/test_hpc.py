@@ -1,0 +1,436 @@
+"""Unit tests for the simulated-Frontier HPC substrate and local parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.collectives import CollectiveKind, CollectiveModel
+from repro.hpc.comm import LocalCommGroup
+from repro.hpc.ddp import CommEvent, DataParallel, bucketize
+from repro.hpc.ensemble_parallel import EnsembleExecutor, ensemble_slices
+from repro.hpc.fsdp import FSDPParallel
+from repro.hpc.gemm import GEMMPerformanceModel, vit_achieved_tflops
+from repro.hpc.memory import STRATEGY_TABLE, ShardingStrategy, TrainingMemoryModel
+from repro.hpc.scaling import strong_scaling_study, weak_scaling_ensf
+from repro.hpc.topology import FrontierTopology, GPUSpec, NodeSpec
+from repro.hpc.trainer_sim import DistributedTrainingSimulator, TrainingRunConfig
+from repro.hpc.zero import ZeROParallel
+from repro.models.lorenz96 import Lorenz96
+from repro.surrogate.presets import TABLE_II_PRESETS, laptop_preset
+from repro.surrogate.vit import ViTConfig
+
+MB = 2.0**20
+
+
+class TestTopology:
+    def test_frontier_totals(self):
+        topo = FrontierTopology()
+        assert topo.total_gpus == 75264
+        assert topo.node.gpus_per_node == 8
+        assert topo.node.gpu.memory_gb == 64.0
+
+    def test_nodes_for(self):
+        topo = FrontierTopology()
+        assert topo.nodes_for(8) == 1
+        assert topo.nodes_for(9) == 2
+        assert topo.nodes_for(1024) == 128
+        with pytest.raises(ValueError):
+            topo.nodes_for(0)
+        with pytest.raises(ValueError):
+            topo.nodes_for(10**9)
+
+    def test_link_bandwidth_regimes(self):
+        topo = FrontierTopology()
+        assert topo.link_bandwidth_gbs(8) == pytest.approx(100.0)
+        assert topo.link_bandwidth_gbs(64) < topo.link_bandwidth_gbs(8)
+
+    def test_gpu_peak_flops(self):
+        gpu = GPUSpec()
+        assert gpu.peak_flops("bf16") > gpu.peak_flops("fp32")
+        with pytest.raises(ValueError):
+            gpu.peak_flops("int8")
+
+
+class TestCollectives:
+    def setup_method(self):
+        self.model = CollectiveModel()
+
+    def test_volume_factors(self):
+        assert CollectiveModel.volume_factor(CollectiveKind.ALL_REDUCE, 4) == pytest.approx(1.5)
+        assert CollectiveModel.volume_factor(CollectiveKind.ALL_GATHER, 4) == pytest.approx(0.75)
+        assert CollectiveModel.volume_factor(CollectiveKind.ALL_REDUCE, 1) == 0.0
+
+    def test_bandwidth_increases_with_message_size(self):
+        small = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_GATHER, 4 * MB, 64)
+        large = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_GATHER, 1024 * MB, 64)
+        assert large > small
+
+    def test_allreduce_dip_near_256mb(self):
+        """The empirical AllReduce bandwidth drop around 256 MB (Fig. 8)."""
+        at_dip = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_REDUCE, 256 * MB, 512)
+        before = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_REDUCE, 64 * MB, 512)
+        after = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_REDUCE, 1024 * MB, 512)
+        assert at_dip < before and at_dip < after
+
+    def test_allreduce_beats_gather_at_midsize_at_scale(self):
+        ar = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_REDUCE, 64 * MB, 1024)
+        ag = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_GATHER, 64 * MB, 1024)
+        assert ar > ag
+
+    def test_allgather_equals_reduce_scatter(self):
+        for msg in [16 * MB, 128 * MB, 512 * MB]:
+            ag = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_GATHER, msg, 256)
+            rs = self.model.bus_bandwidth_gbs(CollectiveKind.REDUCE_SCATTER, msg, 256)
+            assert ag == pytest.approx(rs)
+
+    def test_bandwidth_decreases_with_scale(self):
+        small = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_GATHER, 256 * MB, 16)
+        large = self.model.bus_bandwidth_gbs(CollectiveKind.ALL_GATHER, 256 * MB, 1024)
+        assert large < small
+
+    def test_time_zero_cases(self):
+        assert self.model.time_seconds(CollectiveKind.ALL_REDUCE, 0.0, 16) == 0.0
+        assert self.model.time_seconds(CollectiveKind.ALL_REDUCE, 1e6, 1) == 0.0
+        with pytest.raises(ValueError):
+            self.model.time_seconds(CollectiveKind.ALL_REDUCE, -1.0, 16)
+
+    def test_sweep_shape(self):
+        sizes = np.array([4, 16, 64]) * MB
+        out = self.model.sweep(CollectiveKind.ALL_REDUCE, sizes, 64)
+        assert out.shape == (3,)
+        assert np.all(out > 0)
+
+
+class TestGEMM:
+    def test_efficiency_bounds(self):
+        model = GEMMPerformanceModel()
+        eff = model.efficiency(2048, 2048, 2048)
+        assert 0.0 < eff <= model.max_efficiency
+        with pytest.raises(ValueError):
+            model.efficiency(0, 10, 10)
+
+    def test_bigger_gemm_more_efficient(self):
+        model = GEMMPerformanceModel()
+        assert model.efficiency(4096, 4096, 4096) > model.efficiency(128, 128, 128)
+
+    def test_achieved_tflops_in_paper_range(self):
+        """All Table II configurations must land in the measured 20–52 TFLOPS band."""
+        for size, cfg in TABLE_II_PRESETS.items():
+            batch = TrainingRunConfig(vit=cfg, n_gpus=8).per_gpu_batch
+            tflops = vit_achieved_tflops(cfg, batch_size=batch)
+            assert 20.0 <= tflops <= 52.0, f"{size}: {tflops}"
+
+    def test_embedding_2048_beats_1024(self):
+        small = ViTConfig(image_size=128, patch_size=4, depth=4, num_heads=8, embed_dim=1024)
+        large = ViTConfig(image_size=128, patch_size=4, depth=4, num_heads=8, embed_dim=2048)
+        assert vit_achieved_tflops(large, 4) > vit_achieved_tflops(small, 4)
+
+    def test_more_heads_reduce_performance(self):
+        few = ViTConfig(image_size=128, patch_size=4, depth=4, num_heads=8, embed_dim=2048)
+        many = ViTConfig(image_size=128, patch_size=4, depth=4, num_heads=32, embed_dim=2048)
+        assert vit_achieved_tflops(few, 4) >= vit_achieved_tflops(many, 4)
+
+    def test_higher_mlp_ratio_improves_throughput(self):
+        low = ViTConfig(image_size=128, patch_size=4, depth=4, num_heads=8, embed_dim=2048, mlp_ratio=2.0)
+        high = ViTConfig(image_size=128, patch_size=4, depth=4, num_heads=8, embed_dim=2048, mlp_ratio=8.0)
+        assert vit_achieved_tflops(high, 4) > vit_achieved_tflops(low, 4)
+
+
+class TestMemory:
+    def test_table_i_mapping(self):
+        assert STRATEGY_TABLE[ShardingStrategy.FSDP_GRAD_OP]["zero_equivalent"] == ShardingStrategy.ZERO_2
+        assert STRATEGY_TABLE[ShardingStrategy.FSDP_FULL]["zero_equivalent"] == ShardingStrategy.ZERO_3
+        assert STRATEGY_TABLE[ShardingStrategy.ZERO_1]["shards"] == frozenset({"optimizer"})
+        assert STRATEGY_TABLE[ShardingStrategy.FSDP_HYBRID]["zero_equivalent"] is None
+
+    def test_total_multiplier_near_twelve(self):
+        assert TrainingMemoryModel().total_multiplier() == pytest.approx(12.0)
+
+    def test_sharding_reduces_memory_monotonically(self):
+        model = TrainingMemoryModel()
+        params = 2.5e9
+        ddp = model.per_gpu_bytes(params, ShardingStrategy.DDP, 64)
+        z1 = model.per_gpu_bytes(params, ShardingStrategy.ZERO_1, 64)
+        z2 = model.per_gpu_bytes(params, ShardingStrategy.ZERO_2, 64)
+        z3 = model.per_gpu_bytes(params, ShardingStrategy.ZERO_3, 64)
+        assert ddp > z1 > z2 > z3
+
+    def test_large_model_needs_sharding(self):
+        """A 2.5B-parameter ViT under plain DDP leaves no activation headroom on a 64 GB GCD."""
+        model = TrainingMemoryModel()
+        ddp_bytes = model.per_gpu_bytes(2.5e9, ShardingStrategy.DDP, 64)
+        assert ddp_bytes > 0.8 * 64 * 2.0**30
+        zero3_bytes = model.per_gpu_bytes(2.5e9, ShardingStrategy.ZERO_3, 64)
+        assert zero3_bytes < 10 * 2.0**30
+        assert model.fits_on_gpu(2.5e9, ShardingStrategy.ZERO_3, 64)
+
+    def test_hybrid_shards_within_group(self):
+        model = TrainingMemoryModel()
+        full = model.per_gpu_bytes(1e9, ShardingStrategy.FSDP_FULL, 64)
+        hybrid = model.per_gpu_bytes(1e9, ShardingStrategy.FSDP_HYBRID, 64, hybrid_group_size=8)
+        assert hybrid > full
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingMemoryModel().per_gpu_bytes(1e6, ShardingStrategy.DDP, 0)
+
+
+class TestLocalComm:
+    def test_allreduce_matches_numpy(self):
+        comm = LocalCommGroup(4)
+        rng = np.random.default_rng(0)
+        buffers = [rng.normal(size=(3, 2)) for _ in range(4)]
+        out = comm.allreduce(buffers, op="sum")
+        expected = np.sum(buffers, axis=0)
+        for o in out:
+            assert np.allclose(o, expected)
+
+    def test_allreduce_ops(self):
+        comm = LocalCommGroup(3)
+        buffers = [np.array([1.0, 5.0]), np.array([2.0, 1.0]), np.array([3.0, 3.0])]
+        assert np.allclose(comm.allreduce(buffers, "mean")[0], [2.0, 3.0])
+        assert np.allclose(comm.allreduce(buffers, "max")[1], [3.0, 5.0])
+        assert np.allclose(comm.allreduce(buffers, "min")[2], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            comm.allreduce(buffers, "prod")
+
+    def test_allgather(self):
+        comm = LocalCommGroup(3)
+        buffers = [np.full(2, r, dtype=float) for r in range(3)]
+        out = comm.allgather(buffers)
+        assert np.allclose(out[0], [0, 0, 1, 1, 2, 2])
+
+    def test_reduce_scatter_chunks_sum(self):
+        comm = LocalCommGroup(4)
+        rng = np.random.default_rng(1)
+        buffers = [rng.normal(size=8) for _ in range(4)]
+        chunks = comm.reduce_scatter(buffers)
+        reconstructed = np.concatenate(chunks)[:8]
+        assert np.allclose(reconstructed, np.sum(buffers, axis=0))
+
+    def test_broadcast_and_scatter_gather(self):
+        comm = LocalCommGroup(4)
+        out = comm.broadcast(np.arange(3.0), root=2)
+        assert all(np.allclose(o, [0, 1, 2]) for o in out)
+        scattered = comm.scatter(np.arange(8.0))
+        assert np.allclose(scattered[1], [2, 3])
+        gathered = comm.gather([np.full(2, r, dtype=float) for r in range(4)])
+        assert gathered.shape == (8,)
+
+    def test_traffic_log_and_estimated_time(self):
+        comm = LocalCommGroup(4, cost_model=CollectiveModel())
+        comm.allreduce([np.zeros(100) for _ in range(4)])
+        assert comm.traffic.calls["all_reduce"] == 1
+        assert comm.estimated_time(n_gpus=64) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalCommGroup(0)
+        comm = LocalCommGroup(2)
+        with pytest.raises(ValueError):
+            comm.allreduce([np.zeros(2)])
+        with pytest.raises(ValueError):
+            comm.allreduce([np.zeros(2), np.zeros(3)])
+        with pytest.raises(ValueError):
+            comm.broadcast(np.zeros(2), root=5)
+
+
+class TestStrategies:
+    def test_bucketize(self):
+        assert bucketize(450.0, 200.0) == [200.0, 200.0, 50.0]
+        assert bucketize(0.0, 100.0) == []
+        with pytest.raises(ValueError):
+            bucketize(10.0, 0.0)
+
+    def test_ddp_gradient_sync_matches_mean(self):
+        comm = LocalCommGroup(3)
+        rng = np.random.default_rng(0)
+        grads = [[rng.normal(size=(2, 2)), rng.normal(size=4)] for _ in range(3)]
+        synced = DataParallel().synchronize_gradients(comm, grads)
+        for t in range(2):
+            expected = np.mean([grads[r][t] for r in range(3)], axis=0)
+            for r in range(3):
+                assert np.allclose(synced[r][t], expected)
+
+    def test_zero_step_equals_serial_sgd(self):
+        comm = LocalCommGroup(4)
+        rng = np.random.default_rng(1)
+        params = rng.normal(size=10)
+        grads = [rng.normal(size=10) for _ in range(4)]
+        zero = ZeROParallel(stage=2)
+        updated = zero.step(comm, [params.copy() for _ in range(4)], grads, learning_rate=0.1)
+        serial = params - 0.1 * np.mean(grads, axis=0)
+        for rank_params in updated:
+            assert np.allclose(rank_params, serial)
+
+    def test_fsdp_round_trip_equals_serial_sgd(self):
+        comm = LocalCommGroup(3)
+        rng = np.random.default_rng(2)
+        params = rng.normal(size=11)
+        grads = [rng.normal(size=11) for _ in range(3)]
+        fsdp = FSDPParallel("full_shard")
+        updated = fsdp.train_step_identity_check(comm, params, grads, learning_rate=0.2)
+        assert np.allclose(updated, params - 0.2 * np.mean(grads, axis=0))
+
+    def test_comm_event_volumes(self):
+        param_bytes = 1000 * MB
+        ddp_vol = sum(e.total_bytes for e in DataParallel(bucket_bytes=200 * MB).comm_events(param_bytes, 64))
+        z2_vol = sum(e.total_bytes for e in ZeROParallel(2).comm_events(param_bytes, 64))
+        z3_vol = sum(e.total_bytes for e in ZeROParallel(3).comm_events(param_bytes, 64))
+        full = sum(e.total_bytes for e in FSDPParallel("full_shard").comm_events(param_bytes, 64))
+        grad_op = sum(e.total_bytes for e in FSDPParallel("shard_grad_op").comm_events(param_bytes, 64))
+        assert ddp_vol == pytest.approx(param_bytes)
+        assert z2_vol == pytest.approx(2 * param_bytes)
+        assert z3_vol == pytest.approx(3 * param_bytes)
+        # FSDP full_shard carries ~50 % more traffic than shard_grad_op (§III-B b).
+        assert full == pytest.approx(1.5 * grad_op)
+
+    def test_single_gpu_needs_no_communication(self):
+        assert DataParallel().comm_events(1e9, 1) == []
+        assert ZeROParallel(1).comm_events(1e9, 1) == []
+        assert FSDPParallel().comm_events(1e9, 1) == []
+
+    def test_strategy_metadata(self):
+        assert ZeROParallel(1).strategy == ShardingStrategy.ZERO_1
+        assert FSDPParallel("hybrid_shard").strategy == ShardingStrategy.FSDP_HYBRID
+        with pytest.raises(ValueError):
+            ZeROParallel(4)
+        with pytest.raises(ValueError):
+            FSDPParallel("bogus")
+
+
+class TestTrainerSimulator:
+    def setup_method(self):
+        self.sim = DistributedTrainingSimulator()
+
+    def test_breakdown_fractions_sum_to_one(self):
+        run = TrainingRunConfig(vit=TABLE_II_PRESETS[128], n_gpus=1024)
+        bd = self.sim.step_breakdown(run, ZeROParallel(1))
+        assert sum(bd.fractions().values()) == pytest.approx(1.0)
+        assert bd.compute > 0 and bd.io > 0 and bd.total_comm > 0
+
+    def test_auto_micro_batch_matches_memory_rule(self):
+        assert TrainingRunConfig(vit=TABLE_II_PRESETS[64], n_gpus=8).per_gpu_batch == 8
+        assert TrainingRunConfig(vit=TABLE_II_PRESETS[256], n_gpus=8).per_gpu_batch == 1
+
+    def test_efficiency_decreases_with_scale(self):
+        effs = self.sim.scaling_efficiency(TABLE_II_PRESETS[128], [8, 64, 1024], ZeROParallel(1))
+        assert effs[8] == pytest.approx(1.0)
+        assert effs[1024] <= effs[64] <= 1.0
+
+    def test_fig9_128_scales_best(self):
+        """The 128² / 1.2B configuration achieves the best scaling efficiency (Fig. 9)."""
+        strategy = ZeROParallel(1, bucket_bytes=500 * MB)
+        eff = {
+            size: self.sim.scaling_efficiency(cfg, [8, 1024], strategy)[1024]
+            for size, cfg in TABLE_II_PRESETS.items()
+        }
+        assert eff[128] > eff[64]
+        assert eff[128] > eff[256]
+        assert 0.80 <= eff[128] <= 0.95
+
+    def test_fig9_bucket_tuning_helps_256(self):
+        small_bucket = self.sim.scaling_efficiency(TABLE_II_PRESETS[256], [8, 1024], ZeROParallel(1, 200 * MB))[1024]
+        tuned_bucket = self.sim.scaling_efficiency(TABLE_II_PRESETS[256], [8, 1024], ZeROParallel(1, 500 * MB))[1024]
+        assert tuned_bucket > small_bucket
+
+    def test_fig9_fsdp_full_worst(self):
+        strategies = {
+            "zero1": ZeROParallel(1, 500 * MB),
+            "fsdp_full": FSDPParallel("full_shard"),
+            "fsdp_grad_op": FSDPParallel("shard_grad_op"),
+        }
+        eff = {
+            name: self.sim.scaling_efficiency(TABLE_II_PRESETS[256], [8, 1024], s)[1024]
+            for name, s in strategies.items()
+        }
+        assert eff["fsdp_full"] < eff["fsdp_grad_op"]
+        assert eff["fsdp_full"] < eff["zero1"]
+
+    def test_fig7_comm_fraction_ordering(self):
+        """64² and 256² spend a larger communication share than 128² at 1024 GPUs."""
+        fracs = {
+            size: self.sim.step_breakdown(
+                TrainingRunConfig(vit=cfg, n_gpus=1024), ZeROParallel(1)
+            ).fractions()
+            for size, cfg in TABLE_II_PRESETS.items()
+        }
+        assert fracs[64]["communication"] > fracs[128]["communication"]
+        assert fracs[256]["communication"] > fracs[128]["communication"]
+        for size in fracs:
+            assert fracs[size]["io"] < 0.15
+
+    def test_memory_per_gpu_decreases_with_sharding(self):
+        run = TrainingRunConfig(vit=TABLE_II_PRESETS[256], n_gpus=64)
+        ddp = self.sim.memory_per_gpu_gb(run, DataParallel())
+        z3 = self.sim.memory_per_gpu_gb(run, ZeROParallel(3))
+        assert z3 < ddp
+
+    def test_run_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingRunConfig(vit=TABLE_II_PRESETS[64], n_gpus=0)
+        with pytest.raises(ValueError):
+            TrainingRunConfig(vit=TABLE_II_PRESETS[64], n_gpus=8, micro_batch=0)
+
+
+class TestScalingHarness:
+    def test_strong_scaling_study_structure(self):
+        points = strong_scaling_study(
+            laptop_preset(image_size=64, patch_size=4),
+            {"ddp": DataParallel(), "zero1": ZeROParallel(1)},
+            [8, 64],
+        )
+        assert len(points) == 4
+        assert {p.strategy for p in points} == {"ddp", "zero1"}
+        assert all(p.efficiency <= 1.0 + 1e-9 for p in points)
+
+    def test_weak_scaling_ensf_is_flat(self):
+        """EnSF weak scaling: time at 1024 ranks stays close to the single-rank time (Fig. 10)."""
+        points = weak_scaling_ensf(
+            dimensions=[1.0e5],
+            gpu_counts=[1, 64, 1024],
+            ensemble_size=10,
+            n_sde_steps=10,
+            measured_dimension=20_000,
+        )
+        times = {p.n_gpus: p.time_per_step for p in points}
+        assert times[1024] <= 1.5 * times[1]
+
+    def test_weak_scaling_dimension_scaling_linear(self):
+        points = weak_scaling_ensf(
+            dimensions=[1.0e5, 1.0e6],
+            gpu_counts=[8],
+            ensemble_size=10,
+            n_sde_steps=10,
+            measured_dimension=20_000,
+        )
+        t = {p.dimension_per_rank: p.time_per_step for p in points}
+        assert t[1.0e6] > 5.0 * t[1.0e5]
+
+    def test_ensemble_slices_cover_everything(self):
+        slices = ensemble_slices(20, 6)
+        covered = sorted(i for s in slices for i in range(s.start, s.stop))
+        assert covered == list(range(20))
+        assert max(s.stop - s.start for s in slices) - min(s.stop - s.start for s in slices) <= 1
+        with pytest.raises(ValueError):
+            ensemble_slices(0, 4)
+
+    def test_executor_serial_matches_direct_forecast(self):
+        model = Lorenz96(dim=12)
+        ens = np.random.default_rng(0).normal(size=(6, 12)) + 8.0
+        executor = EnsembleExecutor(n_workers=1)
+        out = executor.map_states(model, ens, n_steps=3)
+        assert np.allclose(out, model.forecast(ens, n_steps=3))
+
+    def test_executor_parallel_matches_serial(self):
+        model = Lorenz96(dim=12)
+        ens = np.random.default_rng(1).normal(size=(8, 12)) + 8.0
+        parallel = EnsembleExecutor(n_workers=2, min_members_per_worker=1)
+        out = parallel.map_states(model, ens, n_steps=2)
+        assert np.allclose(out, model.forecast(ens, n_steps=2))
+
+    def test_executor_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleExecutor(n_workers=0)
+        executor = EnsembleExecutor(n_workers=2)
+        with pytest.raises(ValueError):
+            executor.map_states(Lorenz96(dim=8), np.zeros(8))

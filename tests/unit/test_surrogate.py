@@ -1,0 +1,349 @@
+"""Unit tests for the NumPy ViT surrogate (layers, attention, ViT, optimisers, training, FLOPs)."""
+
+import numpy as np
+import pytest
+
+from repro.models.lorenz96 import Lorenz96
+from repro.surrogate.attention import MultiHeadSelfAttention, softmax
+from repro.surrogate.blocks import MLP, TransformerBlock
+from repro.surrogate.flops import (
+    frontier_node_hours,
+    training_flops_eq18,
+    vit_forward_flops,
+    vit_parameter_count,
+    vit_training_flops,
+)
+from repro.surrogate.layers import GELU, Dropout, DropPath, LayerNorm, Linear, Sequential
+from repro.surrogate.optim import Adam, SGD, clip_gradients
+from repro.surrogate.patch import PatchEmbed, patchify, unpatchify
+from repro.surrogate.presets import TABLE_II_PRESETS, laptop_preset, preset_by_input_size
+from repro.surrogate.training import OfflineTrainer, OnlineTrainer, TrainingConfig, TrajectoryDataset
+from repro.surrogate.vit import SQGViTSurrogate, StateNormalizer, ViTConfig, VisionTransformer
+
+
+def finite_difference_check(module, x, n_checks=4, eps=1e-6, rng=None):
+    """Compare module.backward against finite differences of a scalar loss."""
+    rng = rng or np.random.default_rng(0)
+    target = rng.normal(size=module.forward(x, training=False).shape)
+
+    def loss():
+        out = module.forward(x, training=False)
+        return float(0.5 * np.sum((out - target) ** 2))
+
+    out = module.forward(x, training=False)
+    module.zero_grad()
+    module.backward(out - target)
+    params = module.parameters()
+    assert params, "module has no parameters to check"
+    for _ in range(n_checks):
+        p = params[rng.integers(0, len(params))]
+        idx = tuple(rng.integers(0, s) for s in p.value.shape)
+        orig = p.value[idx]
+        p.value[idx] = orig + eps
+        lp = loss()
+        p.value[idx] = orig - eps
+        lm = loss()
+        p.value[idx] = orig
+        fd = (lp - lm) / (2 * eps)
+        assert fd == pytest.approx(p.grad[idx], rel=2e-4, abs=1e-7)
+
+
+class TestLayers:
+    def test_linear_gradients(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(5, 3, rng=2)
+        finite_difference_check(layer, rng.normal(size=(4, 5)), rng=rng)
+
+    def test_linear_input_gradient(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(4, 4, rng=3)
+        x = rng.normal(size=(2, 4))
+        out = layer.forward(x)
+        grad_in = layer.backward(np.ones_like(out))
+        assert np.allclose(grad_in, np.ones((2, 4)) @ layer.weight.value.T)
+
+    def test_layernorm_gradients(self):
+        rng = np.random.default_rng(3)
+        layer = LayerNorm(6)
+        finite_difference_check(layer, rng.normal(size=(3, 6)), rng=rng)
+
+    def test_layernorm_output_statistics(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(5, 16)) * 7 + 3
+        out = LayerNorm(16).forward(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gelu_shape_and_backward(self):
+        rng = np.random.default_rng(5)
+        gelu = GELU()
+        x = rng.normal(size=(3, 4))
+        out = gelu.forward(x)
+        assert out.shape == x.shape
+        eps = 1e-6
+        grad = gelu.backward(np.ones_like(x))
+        fd = (gelu.forward(x + eps) - gelu.forward(x - eps)) / (2 * eps)
+        assert np.allclose(grad, fd, atol=1e-6)
+
+    def test_dropout_inference_identity(self):
+        x = np.ones((4, 4))
+        drop = Dropout(0.5, rng=0)
+        assert np.array_equal(drop.forward(x, training=False), x)
+
+    def test_dropout_training_preserves_expectation(self):
+        rng = np.random.default_rng(6)
+        drop = Dropout(0.3, rng=7)
+        x = np.ones((200, 200))
+        out = drop.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_droppath_masks_whole_samples(self):
+        drop = DropPath(0.5, rng=8)
+        x = np.ones((64, 3, 2))
+        out = drop.forward(x, training=True)
+        per_sample = out.reshape(64, -1)
+        unique_rows = {tuple(np.unique(r)) for r in per_sample}
+        assert unique_rows <= {(0.0,), (2.0,)}
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            DropPath(-0.1)
+
+    def test_sequential_composition(self):
+        rng = np.random.default_rng(9)
+        seq = Sequential(Linear(4, 8, rng=1), GELU(), Linear(8, 2, rng=2))
+        finite_difference_check(seq, rng.normal(size=(3, 4)), rng=rng)
+        assert seq.n_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+
+
+class TestAttention:
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(3, 5))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_attention_gradients(self):
+        rng = np.random.default_rng(1)
+        attn = MultiHeadSelfAttention(embed_dim=8, num_heads=2, rng=2)
+        finite_difference_check(attn, rng.normal(size=(2, 5, 8)), rng=rng)
+
+    def test_attention_shape_and_validation(self):
+        attn = MultiHeadSelfAttention(8, 4, rng=0)
+        out = attn.forward(np.zeros((2, 3, 8)))
+        assert out.shape == (2, 3, 8)
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+        with pytest.raises(ValueError):
+            attn.forward(np.zeros((2, 3, 6)))
+
+
+class TestBlocksAndPatch:
+    def test_mlp_gradients(self):
+        rng = np.random.default_rng(2)
+        mlp = MLP(6, 12, rng=3)
+        finite_difference_check(mlp, rng.normal(size=(2, 4, 6)), rng=rng)
+
+    def test_transformer_block_gradients(self):
+        rng = np.random.default_rng(3)
+        block = TransformerBlock(8, 2, mlp_ratio=2.0, rng=4)
+        finite_difference_check(block, rng.normal(size=(2, 4, 8)), rng=rng, n_checks=6)
+
+    def test_patchify_roundtrip(self):
+        rng = np.random.default_rng(4)
+        fields = rng.normal(size=(3, 2, 16, 16))
+        patches = patchify(fields, 4)
+        assert patches.shape == (3, 16, 32)
+        assert np.allclose(unpatchify(patches, 4, 2, 16, 16), fields)
+
+    def test_patchify_validation(self):
+        with pytest.raises(ValueError):
+            patchify(np.zeros((1, 2, 15, 15)), 4)
+        with pytest.raises(ValueError):
+            unpatchify(np.zeros((1, 9, 32)), 4, 2, 16, 16)
+
+    def test_patch_embed_gradients(self):
+        rng = np.random.default_rng(5)
+        embed = PatchEmbed(image_size=8, patch_size=4, channels=2, embed_dim=6, rng=6)
+        finite_difference_check(embed, rng.normal(size=(2, 2, 8, 8)), rng=rng)
+
+
+class TestViT:
+    def _tiny(self):
+        return ViTConfig(image_size=8, patch_size=4, channels=2, depth=1, num_heads=2, embed_dim=8)
+
+    def test_untrained_network_is_identity(self):
+        net = VisionTransformer(self._tiny(), rng=0)
+        x = np.random.default_rng(1).normal(size=(2, 2, 8, 8))
+        assert np.allclose(net.forward(x), x)
+
+    def test_forward_shape_and_validation(self):
+        net = VisionTransformer(self._tiny(), rng=0)
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((1, 2, 16, 16)))
+
+    def test_full_model_gradients(self):
+        rng = np.random.default_rng(2)
+        net = VisionTransformer(self._tiny(), rng=3)
+        net.head.weight.value[:] = 0.05 * rng.standard_normal(net.head.weight.value.shape)
+        finite_difference_check(net, rng.normal(size=(2, 2, 8, 8)), rng=rng, n_checks=6)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ViTConfig(image_size=10, patch_size=4)
+        with pytest.raises(ValueError):
+            ViTConfig(embed_dim=10, num_heads=4)
+
+    def test_normalizer_roundtrip(self):
+        rng = np.random.default_rng(4)
+        samples = rng.normal(size=(10, 2, 8, 8)) * 5 + 2
+        norm = StateNormalizer.from_samples(samples)
+        assert np.allclose(norm.denormalize(norm.normalize(samples)), samples)
+        normalized = norm.normalize(samples)
+        assert abs(normalized.mean()) < 0.1
+
+    def test_surrogate_forecast_interface(self):
+        cfg = self._tiny()
+        net = VisionTransformer(cfg, rng=5)
+        norm = StateNormalizer(np.zeros((2, 1, 1)), np.ones((2, 1, 1)))
+        surrogate = SQGViTSurrogate(net, norm, (2, 8, 8), steps_per_application=4)
+        state = np.random.default_rng(6).normal(size=2 * 8 * 8)
+        out = surrogate.forecast(state, n_steps=4)
+        assert out.shape == state.shape
+        ens = np.random.default_rng(7).normal(size=(5, 2 * 8 * 8))
+        assert surrogate.forecast(ens, n_steps=8).shape == ens.shape
+        with pytest.raises(ValueError):
+            surrogate.forecast(np.zeros(10))
+
+
+class TestOptim:
+    def test_adam_minimises_quadratic(self):
+        from repro.surrogate.layers import Parameter
+
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            p.zero_grad()
+            p.grad += 2 * p.value
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-2)
+
+    def test_sgd_momentum_minimises_quadratic(self):
+        from repro.surrogate.layers import Parameter
+
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad += 2 * p.value
+            opt.step()
+        assert abs(p.value[0]) < 1e-2
+
+    def test_clip_gradients(self):
+        from repro.surrogate.layers import Parameter
+
+        p = Parameter(np.zeros(4))
+        p.grad += np.full(4, 10.0)
+        norm = clip_gradients([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_validation(self):
+        from repro.surrogate.layers import Parameter
+
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=1.5)
+        with pytest.raises(ValueError):
+            clip_gradients([], max_norm=0.0)
+
+    def test_adam_state_memory(self):
+        from repro.surrogate.layers import Parameter
+
+        p = Parameter(np.zeros(100))
+        opt = Adam([p])
+        assert opt.state_memory_bytes() == 2 * p.value.nbytes
+
+
+class TestTraining:
+    def test_dataset_pairs_and_batches(self):
+        snaps = np.random.default_rng(0).normal(size=(9, 2, 8, 8))
+        ds = TrajectoryDataset(snaps)
+        x, y = ds.pairs()
+        assert x.shape == (8, 2, 8, 8) and y.shape == (8, 2, 8, 8)
+        batches = list(ds.batches(3, np.random.default_rng(1)))
+        assert sum(b[0].shape[0] for b in batches) == 8
+
+    def test_dataset_from_model(self):
+        model = Lorenz96(dim=2 * 8 * 8)
+        ds = TrajectoryDataset.from_model(model, model.spinup(50, rng=0), n_pairs=5,
+                                          steps_per_pair=2, grid_shape=(2, 8, 8))
+        assert len(ds) == 5
+
+    def test_offline_training_reduces_loss(self):
+        rng = np.random.default_rng(2)
+        # Learnable synthetic dynamics: next state = 0.8 * current state.
+        snaps = [rng.normal(size=(2, 8, 8)) * 3]
+        for _ in range(12):
+            snaps.append(0.8 * snaps[-1])
+        ds = TrajectoryDataset(np.array(snaps))
+        cfg = ViTConfig(image_size=8, patch_size=4, channels=2, depth=1, num_heads=2, embed_dim=16)
+        trainer = OfflineTrainer(VisionTransformer(cfg, rng=3), TrainingConfig(epochs=8, batch_size=4), rng=4)
+        losses = trainer.fit(ds)
+        assert losses[-1] < losses[0]
+
+    def test_online_trainer_runs_and_records(self):
+        cfg = ViTConfig(image_size=8, patch_size=4, channels=2, depth=1, num_heads=2, embed_dim=8)
+        net = VisionTransformer(cfg, rng=5)
+        surrogate = SQGViTSurrogate(net, StateNormalizer(np.zeros((2, 1, 1)), np.ones((2, 1, 1))), (2, 8, 8))
+        online = OnlineTrainer(surrogate, TrainingConfig(online_iterations=3))
+        rng = np.random.default_rng(6)
+        loss = online.update(rng.normal(size=128), rng.normal(size=128))
+        assert np.isfinite(loss)
+        assert len(online.loss_history) == 1
+
+    def test_training_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+
+
+class TestFlopsAndPresets:
+    def test_parameter_count_matches_actual_network(self):
+        cfg = ViTConfig(image_size=8, patch_size=4, channels=2, depth=2, num_heads=2, embed_dim=16)
+        net = VisionTransformer(cfg, rng=0)
+        assert vit_parameter_count(cfg) == net.n_parameters()
+
+    def test_table_ii_parameter_counts(self):
+        """Counts must land near the paper's reported 157M / 1.2B / 2.5B."""
+        expected = {64: 157e6, 128: 1.2e9, 256: 2.5e9}
+        for size, target in expected.items():
+            count = vit_parameter_count(TABLE_II_PRESETS[size])
+            assert abs(count - target) / target < 0.08
+
+    def test_eq18_budget(self):
+        flops = training_flops_eq18((64, 64), 4, 1.0e8, 1.0e6, 100)
+        assert flops == pytest.approx(6 * 256 * 100 * 1e8 * 1e6)
+
+    def test_training_flops_monotone_in_model_size(self):
+        assert vit_training_flops(TABLE_II_PRESETS[256]) > vit_training_flops(TABLE_II_PRESETS[128]) > vit_training_flops(TABLE_II_PRESETS[64])
+
+    def test_forward_flops_positive_and_scale_with_batch(self):
+        cfg = TABLE_II_PRESETS[64]
+        assert vit_forward_flops(cfg, 2) == pytest.approx(2 * vit_forward_flops(cfg, 1), rel=0.01)
+
+    def test_node_hours(self):
+        assert frontier_node_hours(1.0e18, achieved_tflops_per_gcd=40, gcds_per_node=8) == pytest.approx(
+            1.0e18 / (40e12 * 8) / 3600.0
+        )
+        with pytest.raises(ValueError):
+            frontier_node_hours(1.0, achieved_tflops_per_gcd=0)
+
+    def test_presets(self):
+        assert preset_by_input_size(128).embed_dim == 2048
+        with pytest.raises(KeyError):
+            preset_by_input_size(512)
+        small = laptop_preset(image_size=32, patch_size=8)
+        assert small.image_size == 32
