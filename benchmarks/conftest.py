@@ -9,8 +9,28 @@ whose qualitative conclusions match.
 """
 
 import os
+from pathlib import Path
 
 import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ with the ``bench`` marker.
+
+    Tier-1 CI (`pytest -x -q`) deselects these via the ``-m "not bench"``
+    default in pytest.ini; run them explicitly with ``pytest -m bench`` or
+    ``python benchmarks/run_all.py``.  (The hook receives the full session
+    item list, so filter by location.)
+    """
+    for item in items:
+        try:
+            in_bench_dir = Path(str(item.fspath)).resolve().is_relative_to(_BENCH_DIR)
+        except (OSError, ValueError):
+            in_bench_dir = False
+        if in_bench_dir:
+            item.add_marker(pytest.mark.bench)
 
 
 def full_scale() -> bool:

@@ -1,0 +1,47 @@
+"""Benchmark entry point: refresh the ``BENCH_*.json`` perf baselines.
+
+Tier-1 CI (`pytest -x -q`) deselects every test under benchmarks/ via the
+``bench`` marker (see pytest.ini); this script opts back in.
+
+Usage::
+
+    python benchmarks/run_all.py            # kernel speedup benchmarks only
+    python benchmarks/run_all.py --all      # full reproduction benchmark suite
+    python benchmarks/run_all.py <pytest args...>
+
+The kernel benchmarks write/update ``BENCH_kernels.json`` at the repository
+root, recording the speedup trajectory of the vectorized analysis kernels
+(see :mod:`repro.utils.timing` for the file format).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+# Benchmarks import helpers as `benchmarks.conftest`, which resolves from the
+# repository root (python -m pytest adds it automatically; running this file
+# directly puts benchmarks/ first on sys.path instead).
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--all" in argv:
+        argv.remove("--all")
+        targets = [str(BENCH_DIR)]
+    elif any(not a.startswith("-") for a in argv):
+        targets = []  # explicit test paths supplied by the caller
+    else:
+        targets = [str(BENCH_DIR / "test_bench_kernels.py")]
+    return pytest.main(["-m", "bench", "-q", "-s", *targets, *argv])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.core.filters import EnsembleFilter, relax_spread
 from repro.core.likelihood import GaussianLikelihoodScore, LinearDamping
-from repro.core.observations import ObservationOperator
+from repro.core.observations import (
+    IdentityObservation,
+    ObservationOperator,
+    SubsampledObservation,
+)
 from repro.core.schedules import LinearAlphaSchedule
 from repro.core.score import MonteCarloScoreEstimator
 from repro.core.sde import ReverseSDESampler
@@ -59,6 +63,14 @@ class EnSFConfig:
         reproduces the paper's "relax to prior spread" stabilisation.
     stochastic_sampler:
         Integrate the reverse SDE (True) or the probability-flow ODE (False).
+    fused:
+        Use the fused analysis kernels (default): the in-place Monte-Carlo
+        score path (:meth:`MonteCarloScoreEstimator.score_into`), a
+        likelihood-score accumulation specialised for (scaled) identity and
+        subsampled operators, and the buffered reverse-SDE integrator.  The
+        random stream consumption is identical to the reference path
+        (``fused=False``); member states differ only by floating-point
+        reassociation.
     scale_states:
         Normalise the ensemble (per-variable affine map to roughly unit range)
         before diffusion and undo the scaling afterwards.  Score-based
@@ -77,6 +89,7 @@ class EnSFConfig:
     scale_states: bool = True
     obs_var_stability_factor: float = 2.0
     damping: object = field(default_factory=LinearDamping)
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if self.n_sde_steps < 1:
@@ -156,6 +169,78 @@ class _ScaledOperator(ObservationOperator):
         return (np.asarray(observation, dtype=float) - self._center_obs) / self._scaler.scale
 
 
+class _FusedPosteriorScore:
+    """Posterior score ``ŝ_{k|k}(z, t)`` evaluated into a reused workspace.
+
+    Combines the fused Monte-Carlo prior score
+    (:meth:`MonteCarloScoreEstimator.score_into`) with an in-place damped
+    likelihood accumulation.  For operators that act as a (possibly scaled)
+    identity or subsampling — which covers the paper's experiments, including
+    the :class:`_ScaledOperator` wrappers whose forward/inverse affine maps
+    cancel exactly for those inner operators — the likelihood score reduces
+    to ``h(t) · (y − z[..., idx]) / R`` and is applied with one subtraction
+    and one broadcast multiply instead of the full inverse→apply→adjoint
+    round-trip.  Other operators fall back to
+    :meth:`GaussianLikelihoodScore.add_damped_score`.
+
+    The returned array is a workspace owned by this object: it is valid
+    until the next evaluation, which is exactly the lifetime the reverse-SDE
+    integrator requires.
+    """
+
+    def __init__(
+        self,
+        prior: MonteCarloScoreEstimator,
+        likelihood: GaussianLikelihoodScore,
+        operator: ObservationOperator,
+        observation: np.ndarray,
+    ) -> None:
+        self.prior = prior
+        self.likelihood = likelihood
+        self._out: np.ndarray | None = None
+        self._lik_buf: np.ndarray | None = None
+
+        inner = operator._inner if isinstance(operator, _ScaledOperator) else operator
+        if isinstance(inner, IdentityObservation):
+            self._kind = "identity"
+            self._indices = None
+        elif isinstance(inner, SubsampledObservation):
+            self._kind = "subsampled"
+            self._indices = inner.indices
+        else:
+            self._kind = "generic"
+            self._indices = None
+        self._observation = np.asarray(observation, dtype=float)
+        inv_var = 1.0 / operator.obs_error_var
+        # Uniform R collapses the broadcast multiply to a scalar scale.
+        if np.all(inv_var == inv_var[0]):
+            self._inv_var: float | np.ndarray = float(inv_var[0])
+        else:
+            self._inv_var = inv_var
+
+    def __call__(self, z: np.ndarray, t: float) -> np.ndarray:
+        if self._out is None or self._out.shape != z.shape:
+            self._out = np.empty_like(z)
+        out = self.prior.score_into(z, t, self._out)
+
+        if self._kind == "generic":
+            return self.likelihood.add_damped_score(z, t, out)
+
+        damping = float(self.likelihood.damping(t))
+        if self._kind == "identity":
+            if self._lik_buf is None or self._lik_buf.shape != z.shape:
+                self._lik_buf = np.empty_like(z)
+            np.subtract(self._observation[None, :], z, out=self._lik_buf)
+            self._lik_buf *= damping * self._inv_var
+            out += self._lik_buf
+        else:
+            z_local = z[:, self._indices]
+            np.subtract(self._observation[None, :], z_local, out=z_local)
+            z_local *= damping * self._inv_var
+            out[:, self._indices] += z_local
+        return out
+
+
 class EnSF(EnsembleFilter):
     """Ensemble Score Filter.
 
@@ -177,6 +262,7 @@ class EnSF(EnsembleFilter):
             n_steps=self.config.n_sde_steps,
             stochastic=self.config.stochastic_sampler,
             t_start=self.config.t_start,
+            reuse_buffers=self.config.fused,
         )
 
     # ------------------------------------------------------------------ #
@@ -195,8 +281,11 @@ class EnSF(EnsembleFilter):
         )
         likelihood = GaussianLikelihoodScore(operator, observation, damping=self.config.damping)
 
+        if self.config.fused:
+            return _FusedPosteriorScore(prior, likelihood, operator, observation)
+
         def score(z: np.ndarray, t: float) -> np.ndarray:
-            return prior.score(z, t) + likelihood.damped_score(z, t)
+            return prior.score_reference(z, t) + likelihood.damped_score(z, t)
 
         return score
 

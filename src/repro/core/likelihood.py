@@ -93,5 +93,17 @@ class GaussianLikelihoodScore:
         """``h(t) ∇_z log p(y | z)`` — the term added to the prior score."""
         return self.damping(t) * self.score(z)
 
+    def add_damped_score(self, z: np.ndarray, t: float, out: np.ndarray) -> np.ndarray:
+        """Accumulate ``h(t) ∇_z log p(y | z)`` into ``out`` (generic path).
+
+        The fused EnSF posterior score uses this hook so specialised
+        operators can avoid materialising the full likelihood-score array;
+        the base implementation simply adds the allocating result.
+        """
+        term = self.score(z)
+        term *= self.damping(t)
+        out += term
+        return out
+
     def __call__(self, z: np.ndarray, t: float) -> np.ndarray:
         return self.damped_score(z, t)

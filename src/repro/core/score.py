@@ -12,6 +12,18 @@ where the weights ``ŵ_t`` are the self-normalised conditional densities
 (Eq. 16).  The estimator is vectorised over a batch of evaluation points and
 supports mini-batching over the ensemble (``J ≤ M`` members per evaluation),
 as described in the paper.
+
+Fused score path
+----------------
+The reverse-SDE sampler evaluates this estimator on every Euler step
+(~100 times per analysis), so the hot path is fused: the ensemble statics
+(``Σ_d x_j²``) are precomputed once (the per-step schedule constants are
+precomputed by the buffered sampler, see :mod:`repro.core.sde`), and
+``log_weights → weights → score`` collapse into a single in-place evaluation
+(:meth:`MonteCarloScoreEstimator.score_into`) that performs one GEMM for the
+cross terms and one for the weighted mean, writing every intermediate into
+preallocated workspaces.  :meth:`MonteCarloScoreEstimator.score_reference`
+keeps the original allocating implementation as the numerical oracle.
 """
 
 from __future__ import annotations
@@ -66,6 +78,13 @@ class MonteCarloScoreEstimator:
             )
         self.minibatch = minibatch
         self.rng = default_rng(rng)
+        # Ensemble statics reused by every fused evaluation: ``Σ_d x_j²``
+        # appears in the expanded ``‖z − α x_j‖²`` on each of the ~100
+        # reverse-SDE score calls and never changes within an analysis.
+        self._x_sq = np.einsum("md,md->m", ensemble, ensemble)
+        # Reusable workspaces keyed by the (n_points, J) evaluation shape.
+        self._weight_buf: np.ndarray | None = None
+        self._zsq_buf: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     def _select_batch(self) -> np.ndarray:
@@ -74,6 +93,13 @@ class MonteCarloScoreEstimator:
             return self.ensemble
         idx = self.rng.choice(self.n_members, size=self.minibatch, replace=False)
         return self.ensemble[idx]
+
+    def _select_batch_with_statics(self) -> tuple[np.ndarray, np.ndarray]:
+        """Batch plus its precomputed ``Σ_d x_j²`` statics."""
+        if self.minibatch is None or self.minibatch == self.n_members:
+            return self.ensemble, self._x_sq
+        idx = self.rng.choice(self.n_members, size=self.minibatch, replace=False)
+        return self.ensemble[idx], self._x_sq[idx]
 
     def log_weights(self, z: np.ndarray, t: float, batch: np.ndarray | None = None) -> np.ndarray:
         """Unnormalised log-weights ``log Q(z_t | x_j)`` for each batch member.
@@ -102,6 +128,9 @@ class MonteCarloScoreEstimator:
         x_sq = np.sum(batch**2, axis=1)[None, :]
         cross = z @ batch.T
         dist_sq = z_sq - 2.0 * alpha * cross + alpha**2 * x_sq
+        # The expansion can go slightly negative in floating point when
+        # z ≈ α x_j; clamp so the log-density never exceeds its peak.
+        dist_sq = np.maximum(dist_sq, 0.0)
         return -0.5 * dist_sq / beta_sq
 
     def weights(self, z: np.ndarray, t: float, batch: np.ndarray | None = None) -> np.ndarray:
@@ -111,12 +140,71 @@ class MonteCarloScoreEstimator:
         w = np.exp(logw)
         return w / w.sum(axis=1, keepdims=True)
 
+    # ------------------------------------------------------------------ #
+    def score_into(self, z: np.ndarray, t: float, out: np.ndarray) -> np.ndarray:
+        """Fused in-place estimate of the prior score ``ŝ(z, t)`` (Eq. 15).
+
+        Computes weights and score in a single pass — one GEMM for the
+        ``z xᵀ`` cross terms, an in-place softmax on a persistent ``(n, J)``
+        workspace, and one GEMM for the weighted ensemble mean written
+        directly into ``out`` — with no ``(n, d)`` temporaries.
+
+        Parameters
+        ----------
+        z:
+            Evaluation points, shape ``(n, d)`` (2-D, C-contiguous float64).
+        t:
+            Pseudo-time in ``[0, 1]``.
+        out:
+            Output array of shape ``(n, d)``; overwritten with the score.
+        """
+        batch, x_sq = self._select_batch_with_statics()
+        alpha = float(self.schedule.alpha(t))
+        beta_sq = float(self.schedule.beta_sq(t))
+        n = z.shape[0]
+        j = batch.shape[0]
+
+        if self._weight_buf is None or self._weight_buf.shape != (n, j):
+            self._weight_buf = np.empty((n, j))
+            self._zsq_buf = np.empty(n)
+        w = self._weight_buf
+        z_sq = self._zsq_buf
+
+        np.einsum("nd,nd->n", z, z, out=z_sq)
+        np.dot(z, batch.T, out=w)                     # cross terms (one GEMM)
+        w *= -2.0 * alpha
+        w += z_sq[:, None]
+        w += (alpha * alpha) * x_sq[None, :]
+        np.maximum(w, 0.0, out=w)                     # clamp ‖z − α x‖² ≥ 0
+        w *= -0.5 / beta_sq
+        w -= w.max(axis=1, keepdims=True)
+        np.exp(w, out=w)
+        w /= w.sum(axis=1, keepdims=True)
+
+        np.dot(w, batch, out=out)                     # weighted mean (one GEMM)
+        out *= alpha
+        out -= z
+        out *= 1.0 / beta_sq                          # ŝ = −(z − α Σ w x)/β²
+        return out
+
     def score(self, z: np.ndarray, t: float) -> np.ndarray:
         """Estimate the prior score ``ŝ(z, t)`` at points ``z`` (Eq. 15).
 
         ``z`` may be ``(d,)`` or ``(n, d)``; the return matches the input
-        shape.
+        shape.  A fresh output array is allocated; the fused intermediates
+        reuse the estimator's workspaces.
         """
+        z_in = np.asarray(z, dtype=float)
+        squeeze = z_in.ndim == 1
+        z2d = np.ascontiguousarray(np.atleast_2d(z_in))
+        if z2d.shape[1] != self.dim:
+            raise ValueError(f"points have dimension {z2d.shape[1]}, ensemble has {self.dim}")
+        out = np.empty_like(z2d)
+        self.score_into(z2d, t, out)
+        return out[0] if squeeze else out
+
+    def score_reference(self, z: np.ndarray, t: float) -> np.ndarray:
+        """Pre-refactor allocating score evaluation (numerical oracle)."""
         z_in = np.asarray(z, dtype=float)
         squeeze = z_in.ndim == 1
         z2d = np.atleast_2d(z_in)

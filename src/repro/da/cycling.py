@@ -19,6 +19,7 @@ from repro.core.observations import ObservationOperator
 from repro.models.base import ForecastModel, propagate_ensemble
 from repro.models.model_error import StochasticModelErrorMixture
 from repro.utils.random import SeedSequenceFactory
+from repro.utils.timing import BenchRecorder
 
 __all__ = ["OSSEConfig", "CyclingResult", "run_osse", "free_run"]
 
@@ -72,6 +73,7 @@ class CyclingResult:
     analysis_mean_final: np.ndarray
     label: str = ""
     analysis_mean_history: np.ndarray | None = None
+    timing: dict | None = None
 
     @property
     def mean_analysis_rmse(self) -> float:
@@ -81,13 +83,19 @@ class CyclingResult:
 
     def summary(self) -> dict:
         """Compact dictionary summary used by the benchmark harness."""
-        return {
+        out = {
             "label": self.label,
             "cycles": int(len(self.times)),
             "mean_analysis_rmse": self.mean_analysis_rmse,
             "final_analysis_rmse": float(self.analysis_rmse[-1]),
             "final_spread": float(self.analysis_spread[-1]),
         }
+        if self.timing is not None:
+            out["timing"] = {
+                name: {k: v for k, v in section.items() if k != "per_cycle_s"}
+                for name, section in self.timing.items()
+            }
+        return out
 
 
 def rmse(a: np.ndarray, b: np.ndarray) -> float:
@@ -133,6 +141,7 @@ def run_osse(
     executor=None,
     label: str | None = None,
     store_history: bool = False,
+    recorder: BenchRecorder | None = None,
 ) -> CyclingResult:
     """Run one cycling DA experiment.
 
@@ -163,6 +172,13 @@ def run_osse(
     store_history:
         Also record the analysis-mean state at every cycle (needed by the
         Fig. 5 snapshot benchmark).
+    recorder:
+        Optional :class:`~repro.utils.timing.BenchRecorder`.  Every OSSE run
+        records a per-cycle forecast/analysis wall-time breakdown (sections
+        ``"truth"``, ``"forecast"``, ``"analysis"``) which is returned in
+        ``CyclingResult.timing``; pass an existing recorder to aggregate
+        several runs (each result's ``timing`` still covers only its own
+        cycles).
     """
     seeds = SeedSequenceFactory(config.seed)
     rng_obs = seeds.rng("observations")
@@ -186,23 +202,30 @@ def run_osse(
     analysis_spread = np.zeros(config.n_cycles)
     history = [] if store_history else None
 
+    if recorder is None:
+        recorder = BenchRecorder()
+    recorder_start = recorder.snapshot()
+
     for cycle in range(config.n_cycles):
         # --- truth evolution (perfect physics + unknown model error) -------
-        truth = truth_model.forecast(truth, n_steps=config.steps_per_cycle)
-        if model_error is not None and config.apply_model_error_to_truth:
-            truth = model_error.perturb(truth)
+        with recorder.section("truth"):
+            truth = truth_model.forecast(truth, n_steps=config.steps_per_cycle)
+            if model_error is not None and config.apply_model_error_to_truth:
+                truth = model_error.perturb(truth)
 
         # --- ensemble forecast ---------------------------------------------
-        ensemble = propagate_ensemble(
-            forecast_model, ensemble, n_steps=config.steps_per_cycle, executor=executor
-        )
+        with recorder.section("forecast"):
+            ensemble = propagate_ensemble(
+                forecast_model, ensemble, n_steps=config.steps_per_cycle, executor=executor
+            )
         stats_f = ensemble_statistics(ensemble)
         forecast_rmse[cycle] = rmse(stats_f.mean, truth)
 
         # --- observation and analysis ---------------------------------------
         if filter_ is not None:
             observation = operator.observe(truth, rng=rng_obs)
-            ensemble = filter_.analyze(ensemble, observation, operator)
+            with recorder.section("analysis"):
+                ensemble = filter_.analyze(ensemble, observation, operator)
 
         stats_a = ensemble_statistics(ensemble)
         analysis_rmse[cycle] = rmse(stats_a.mean, truth)
@@ -220,6 +243,7 @@ def run_osse(
         analysis_mean_final=stats_final.mean,
         label=label or (filter_.name if filter_ is not None else "free-run"),
         analysis_mean_history=np.array(history) if store_history else None,
+        timing=recorder.report(since=recorder_start),
     )
 
 

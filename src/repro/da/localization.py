@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.utils.grid import Grid2D, periodic_distance_matrix
 
-__all__ = ["gaspari_cohn", "LocalizationConfig", "column_distances"]
+__all__ = [
+    "gaspari_cohn",
+    "LocalizationConfig",
+    "column_distances",
+    "FootprintGroup",
+    "LocalAnalysisGeometry",
+    "geometry_cache_key",
+]
 
 
 def gaspari_cohn(distance: np.ndarray, cutoff: float) -> np.ndarray:
@@ -70,11 +77,17 @@ class LocalizationConfig:
         Gaspari–Cohn length scale in metres (paper's tuned value: 2000 km).
     min_weight:
         Observations whose localization weight falls below this threshold are
-        dropped from the local analysis (keeps the local problems small).
+        dropped from the local analysis.  The default of 0 keeps the exact
+        Gaspari–Cohn support (identically zero beyond twice the cut-off) and
+        lets the batched LETKF use the convolution assembly; a positive
+        threshold shrinks the per-column problems (useful for the reference
+        loop and the grouped kernel) at the cost of ~``min_weight``-level
+        changes to the analysis.  Before the vectorized kernels the default
+        was ``1e-4``; pass that explicitly to reproduce older runs.
     """
 
     cutoff: float = 2.0e6
-    min_weight: float = 1.0e-4
+    min_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cutoff <= 0:
@@ -85,6 +98,175 @@ class LocalizationConfig:
     def weights(self, distance: np.ndarray) -> np.ndarray:
         """Localization weights for the given distances."""
         return gaspari_cohn(distance, self.cutoff)
+
+
+@dataclass(frozen=True)
+class FootprintGroup:
+    """Columns whose local observation footprints have the same size.
+
+    Equal footprint sizes let the per-column local problems stack into dense
+    ``(n_cols_in_group, ...)`` tensors, which is all the batched LETKF solver
+    needs (columns with *identical* footprints are a special case and stack
+    automatically).  All arrays are precomputed once per ``(grid, operator)``
+    pair and reused every cycle.
+
+    Attributes
+    ----------
+    columns:
+        Analysis column indices in this group, shape ``(g,)``.
+    obs_indices:
+        Indices into the observation vector of each column's local
+        observations, shape ``(g, p)``.
+    sqrt_r_inv:
+        Square roots of the localized inverse observation-error variances
+        ``sqrt(gc(d)/obs_error_var)`` at the selected observations,
+        ``(g, p)`` — the symmetrized form is all the batched Gram/innovation
+        products need.
+    """
+
+    columns: np.ndarray
+    obs_indices: np.ndarray
+    sqrt_r_inv: np.ndarray
+
+    @property
+    def n_local_obs(self) -> int:
+        return int(self.obs_indices.shape[1])
+
+
+class LocalAnalysisGeometry:
+    """Precomputed localization geometry for one ``(grid, obs network)`` pair.
+
+    This is the cache layer behind the vectorized LETKF analysis kernels: the
+    full column→observation distance structure, Gaspari–Cohn weights, and
+    per-column selection footprints are computed **once** and reused across
+    cycles, so steady-state analysis steps perform zero distance evaluations.
+
+    Two execution modes are selected at build time:
+
+    ``"convolution"``
+        Available when the observation-error variance is uniform and
+        ``min_weight == 0``.  Because the Gaspari–Cohn weight depends only on
+        the periodic column offset, the per-column weighted sums over
+        observations (the local Gram matrices and innovation projections) are
+        circular convolutions with a fixed kernel; the geometry stores the
+        kernel's real FFT and the analysis assembles all local systems with a
+        handful of batched FFTs.  This is exact: Gaspari–Cohn is identically
+        zero beyond twice the cut-off, so summing over *all* observations
+        equals summing over the selected footprint.
+
+    ``"grouped"``
+        The general path: per-column footprints (``weight > min_weight``) are
+        grouped by footprint size into :class:`FootprintGroup` tensors which
+        the batched solver processes with stacked ``eigh`` calls.
+
+    Parameters
+    ----------
+    grid:
+        The physical analysis grid.
+    obs_columns:
+        Horizontal column index of every observation, shape ``(n_obs,)``.
+    config:
+        Localization settings (cut-off, selection threshold).
+    obs_error_var:
+        Diagonal observation-error variances, shape ``(n_obs,)``.
+    chunk:
+        Number of analysis columns processed per build chunk (bounds the
+        peak memory of the one-off build; does not affect results).
+    """
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        obs_columns: np.ndarray,
+        config: LocalizationConfig,
+        obs_error_var: np.ndarray,
+        chunk: int = 512,
+    ) -> None:
+        self.grid = grid
+        self.obs_columns = np.asarray(obs_columns, dtype=np.intp)
+        self.config = config
+        self.obs_error_var = np.asarray(obs_error_var, dtype=float)
+        if self.obs_error_var.shape != self.obs_columns.shape:
+            raise ValueError("obs_error_var and obs_columns must have the same length")
+        self.n_columns = grid.ny * grid.nx
+        self.n_obs = int(self.obs_columns.size)
+
+        uniform_var = bool(np.all(self.obs_error_var == self.obs_error_var[0]))
+        if uniform_var and config.min_weight == 0.0:
+            self.mode = "convolution"
+            self._build_convolution()
+            self.groups: list[FootprintGroup] = []
+            self.empty_columns = np.empty(0, dtype=np.intp)
+        else:
+            self.mode = "grouped"
+            self.kernel_rfft2 = None
+            self._build_grouped(chunk)
+
+    # ------------------------------------------------------------------ #
+    def _build_convolution(self) -> None:
+        """Store the real FFT of the localized R⁻¹ kernel on the grid."""
+        stencil = self.grid.distance_stencil()
+        kernel = gaspari_cohn(stencil, self.config.cutoff) / float(self.obs_error_var[0])
+        # The kernel is even under periodic index negation, so its spectrum
+        # is exactly real; taking .real only discards FFT round-off.
+        self.kernel_rfft2 = np.fft.rfft2(kernel).real
+
+    def _build_grouped(self, chunk: int) -> None:
+        """Group columns by footprint size with precomputed weights."""
+        stencil = self.grid.distance_stencil()
+        cutoff = self.config.cutoff
+        min_weight = self.config.min_weight
+
+        by_size: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+        empty: list[np.ndarray] = []
+        all_columns = np.arange(self.n_columns, dtype=np.intp)
+        for start in range(0, self.n_columns, chunk):
+            cols = all_columns[start : start + chunk]
+            dist = self.grid.column_pair_distances(cols, self.obs_columns, stencil=stencil)
+            weight = gaspari_cohn(dist, cutoff)
+            mask = weight > min_weight
+            counts = mask.sum(axis=1)
+            for p in np.unique(counts):
+                rows = np.nonzero(counts == p)[0]
+                if p == 0:
+                    empty.append(cols[rows])
+                    continue
+                obs_idx = np.nonzero(mask[rows])[1].reshape(rows.size, int(p))
+                w_sel = weight[rows[:, None], obs_idx]
+                by_size.setdefault(int(p), []).append((cols[rows], obs_idx, w_sel))
+
+        groups = []
+        for p in sorted(by_size):
+            parts = by_size[p]
+            columns = np.concatenate([c for c, _, _ in parts])
+            obs_idx = np.concatenate([i for _, i, _ in parts]).astype(np.intp)
+            w_sel = np.concatenate([w for _, _, w in parts])
+            groups.append(
+                FootprintGroup(
+                    columns=columns,
+                    obs_indices=obs_idx,
+                    sqrt_r_inv=np.sqrt(w_sel / self.obs_error_var[obs_idx]),
+                )
+            )
+        self.groups = groups
+        self.empty_columns = (
+            np.concatenate(empty) if empty else np.empty(0, dtype=np.intp)
+        )
+
+def geometry_cache_key(
+    grid: Grid2D,
+    obs_columns: np.ndarray,
+    config: LocalizationConfig,
+    obs_error_var: np.ndarray,
+) -> tuple:
+    """Key identifying one ``(grid, observation network, localization)`` tuple."""
+    return (
+        grid,
+        config.cutoff,
+        config.min_weight,
+        np.asarray(obs_columns, dtype=np.intp).tobytes(),
+        np.asarray(obs_error_var, dtype=float).tobytes(),
+    )
 
 
 def column_distances(grid: Grid2D, column_index: int, obs_columns: np.ndarray) -> np.ndarray:

@@ -19,6 +19,12 @@ __all__ = [
     "chord_distance_km",
 ]
 
+# The batched LETKF kernels (see repro.da.localization.LocalAnalysisGeometry)
+# exploit the translation invariance of periodic distances: the distance
+# between two columns depends only on their index offset, so a single
+# ``(ny, nx)`` stencil of distances from column 0 determines every
+# column-to-column distance on the grid without recomputing any trigonometry.
+
 
 def periodic_delta(a: np.ndarray, b: np.ndarray, length: float) -> np.ndarray:
     """Signed minimum-image separation ``a - b`` on a periodic axis of size ``length``."""
@@ -151,3 +157,39 @@ class Grid2D:
         """Map flattened state indices to horizontal column indices in ``[0, ny*nx)``."""
         flat_index = np.asarray(flat_index)
         return flat_index % (self.ny * self.nx)
+
+    def distance_stencil(self) -> np.ndarray:
+        """Periodic distances from column 0 to every column, shape ``(ny, nx)``.
+
+        Because the grid is doubly periodic and uniform, the distance between
+        columns ``a`` and ``b`` depends only on the wrapped index offset
+        ``b - a``; this stencil therefore encodes the full
+        ``(ny*nx, ny*nx)`` column distance matrix in ``O(ny*nx)`` memory.  It
+        is the only place the batched analysis kernels evaluate distances —
+        everything downstream is pure integer index arithmetic.
+        """
+        coords = self.point_coordinates()
+        row = periodic_distance_matrix(coords[0][None, :], coords, self.lx, self.ly)[0]
+        return row.reshape(self.ny, self.nx)
+
+    def column_pair_distances(
+        self,
+        columns: np.ndarray,
+        obs_columns: np.ndarray,
+        stencil: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Distances between analysis ``columns`` and ``obs_columns``.
+
+        Uses :meth:`distance_stencil` plus wrapped index arithmetic, so no
+        trigonometric/minimum-image work is done per pair.  Returns an array
+        of shape ``(len(columns), len(obs_columns))``.
+        """
+        if stencil is None:
+            stencil = self.distance_stencil()
+        columns = np.asarray(columns, dtype=np.intp)
+        obs_columns = np.asarray(obs_columns, dtype=np.intp)
+        ciy, cix = np.divmod(columns, self.nx)
+        oiy, oix = np.divmod(obs_columns, self.nx)
+        riy = (oiy[None, :] - ciy[:, None]) % self.ny
+        rix = (oix[None, :] - cix[:, None]) % self.nx
+        return stencil[riy, rix]

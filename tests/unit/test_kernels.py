@@ -1,0 +1,349 @@
+"""Equivalence and regression tests for the vectorized analysis kernels.
+
+The batched LETKF (convolution and grouped-footprint assembly) and the fused
+EnSF score path must reproduce the pre-refactor reference implementations —
+``LETKF.analyze_reference``, ``MonteCarloScoreEstimator.score_reference`` and
+the ``fused=False`` / ``reuse_buffers=False`` configurations — to near
+machine precision on seeded 16×16 SQG-sized cases.
+"""
+
+import numpy as np
+import pytest
+
+import repro.utils.grid as grid_mod
+from repro.core.ensf import EnSF, EnSFConfig
+from repro.core.observations import IdentityObservation, NonlinearObservation, SubsampledObservation
+from repro.core.schedules import LinearAlphaSchedule
+from repro.core.score import MonteCarloScoreEstimator
+from repro.core.sde import ReverseSDESampler
+from repro.da.cycling import OSSEConfig, run_osse
+from repro.da.letkf import LETKF, LETKFConfig
+from repro.da.localization import LocalAnalysisGeometry, LocalizationConfig
+from repro.models.lorenz96 import Lorenz96
+from repro.utils.grid import Grid2D
+from repro.utils.random import default_rng
+from repro.utils.timing import BenchRecorder
+
+
+def _case(seed=0, shape=(16, 16), members=12, scale=1.0):
+    grid = Grid2D(*shape)
+    rng = np.random.default_rng(seed)
+    ensemble = rng.standard_normal((members, grid.size)) * scale
+    truth = rng.standard_normal(grid.size) * scale
+    return grid, rng, ensemble, truth
+
+
+class TestGridGeometry:
+    def test_distance_stencil_matches_pairwise(self):
+        grid = Grid2D(6, 5)
+        coords = grid.point_coordinates()
+        full = grid_mod.periodic_distance_matrix(coords, coords, grid.lx, grid.ly)
+        stencil = grid.distance_stencil()
+        cols = np.arange(grid.ny * grid.nx)
+        via_stencil = grid.column_pair_distances(cols, cols, stencil=stencil)
+        np.testing.assert_allclose(via_stencil, full, atol=1e-9)
+
+    def test_column_pair_distances_subset(self):
+        grid = Grid2D(8, 8)
+        coords = grid.point_coordinates()
+        cols = np.array([0, 5, 17, 63])
+        obs = np.array([3, 9, 60])
+        expected = grid_mod.periodic_distance_matrix(
+            coords[cols], coords[obs], grid.lx, grid.ly
+        )
+        np.testing.assert_allclose(grid.column_pair_distances(cols, obs), expected, atol=1e-9)
+
+
+class TestBatchedLETKFEquivalence:
+    @pytest.mark.parametrize("min_weight", [0.0, 1.0e-4])
+    def test_identity_network(self, min_weight):
+        grid, rng, ensemble, truth = _case(seed=1)
+        operator = IdentityObservation(grid.size, 1.2)
+        observation = operator.observe(truth, rng=rng)
+        cfg = LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6, min_weight=min_weight))
+        letkf = LETKF(grid, cfg)
+        batched = letkf.analyze(ensemble, observation, operator)
+        reference = letkf.analyze_reference(ensemble, observation, operator)
+        np.testing.assert_allclose(batched, reference, atol=1e-11, rtol=1e-11)
+
+    @pytest.mark.parametrize("min_weight", [0.0, 1.0e-4])
+    def test_subsampled_network(self, min_weight):
+        grid, rng, ensemble, truth = _case(seed=2)
+        operator = SubsampledObservation.every_nth(grid.size, 3, 0.7)
+        observation = operator.observe(truth, rng=rng)
+        cfg = LETKFConfig(localization=LocalizationConfig(cutoff=3.0e6, min_weight=min_weight))
+        letkf = LETKF(grid, cfg)
+        batched = letkf.analyze(ensemble, observation, operator)
+        reference = letkf.analyze_reference(ensemble, observation, operator)
+        np.testing.assert_allclose(batched, reference, atol=1e-11, rtol=1e-11)
+
+    def test_nonuniform_obs_error_uses_grouped_mode(self):
+        grid, rng, ensemble, truth = _case(seed=3)
+        var = 0.5 + rng.random(grid.size)
+        operator = IdentityObservation(grid.size, var)
+        observation = operator.observe(truth, rng=rng)
+        cfg = LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6, min_weight=0.0))
+        letkf = LETKF(grid, cfg)
+        assert letkf.geometry(operator).mode == "grouped"
+        batched = letkf.analyze(ensemble, observation, operator)
+        reference = letkf.analyze_reference(ensemble, observation, operator)
+        np.testing.assert_allclose(batched, reference, atol=1e-11, rtol=1e-11)
+
+    def test_empty_footprints_keep_prior(self):
+        grid, rng, ensemble, truth = _case(seed=4)
+        operator = SubsampledObservation.every_nth(grid.size, 7, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        cfg = LETKFConfig(
+            localization=LocalizationConfig(cutoff=grid.dx * 0.55, min_weight=1e-4),
+            rtps_factor=0.0,
+        )
+        letkf = LETKF(grid, cfg)
+        geometry = letkf.geometry(operator)
+        assert geometry.empty_columns.size > 0
+        batched = letkf.analyze(ensemble, observation, operator)
+        reference = letkf.analyze_reference(ensemble, observation, operator)
+        np.testing.assert_allclose(batched, reference, atol=1e-11, rtol=1e-11)
+        # columns without local observations must keep the prior exactly
+        col = int(geometry.empty_columns[0])
+        state_idx = col + np.arange(grid.nlev) * (grid.ny * grid.nx)
+        np.testing.assert_array_equal(batched[:, state_idx], ensemble[:, state_idx])
+
+    def test_use_batched_false_matches_reference(self):
+        grid, rng, ensemble, truth = _case(seed=5)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        letkf = LETKF(grid, LETKFConfig(use_batched=False))
+        out = letkf.analyze(ensemble, observation, operator)
+        reference = letkf.analyze_reference(ensemble, observation, operator)
+        np.testing.assert_array_equal(out, reference)
+
+    def test_batched_on_sqg_sized_cycling(self):
+        """Member-wise parity holds through a short multi-cycle OSSE."""
+        grid, rng, ensemble, truth = _case(seed=6, members=8)
+        operator = IdentityObservation(grid.size, 1.0)
+        cfg = LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6, min_weight=0.0))
+        batched = LETKF(grid, cfg)
+        reference = LETKF(grid, cfg)
+        state_b = ensemble.copy()
+        state_r = ensemble.copy()
+        for cycle in range(3):
+            observation = operator.observe(truth, rng=np.random.default_rng(100 + cycle))
+            state_b = batched.analyze(state_b, observation, operator)
+            state_r = reference.analyze_reference(state_r, observation, operator)
+        np.testing.assert_allclose(state_b, state_r, atol=1e-10, rtol=1e-10)
+
+
+class TestGeometryCache:
+    def _counting(self, monkeypatch):
+        calls = {"n": 0}
+        original = grid_mod.periodic_distance_matrix
+
+        def counted(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        # Patch every module-level alias used by the analysis code paths.
+        import repro.da.localization as loc_mod
+        import repro.da.letkf as letkf_mod
+
+        monkeypatch.setattr(grid_mod, "periodic_distance_matrix", counted)
+        monkeypatch.setattr(loc_mod, "periodic_distance_matrix", counted)
+        monkeypatch.setattr(letkf_mod, "periodic_distance_matrix", counted)
+        return calls
+
+    def test_second_cycle_does_zero_distance_computations(self, monkeypatch):
+        grid, rng, ensemble, truth = _case(seed=7)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        letkf = LETKF(grid)
+        calls = self._counting(monkeypatch)
+
+        letkf.analyze(ensemble, observation, operator)
+        assert calls["n"] > 0  # geometry build evaluates the stencil once
+        calls["n"] = 0
+        letkf.analyze(ensemble, observation, operator)
+        letkf.analyze(ensemble, observation, operator)
+        assert calls["n"] == 0  # static network: geometry fully cached
+
+    def test_geometry_cached_per_network(self):
+        grid, rng, ensemble, truth = _case(seed=8)
+        op_a = IdentityObservation(grid.size, 1.0)
+        op_b = SubsampledObservation.every_nth(grid.size, 2, 1.0)
+        letkf = LETKF(grid)
+        geom_a = letkf.geometry(op_a)
+        geom_b = letkf.geometry(op_b)
+        assert letkf.geometry(op_a) is geom_a
+        assert letkf.geometry(op_b) is geom_b
+        assert geom_a is not geom_b
+
+    def test_grouped_geometry_covers_all_columns(self):
+        grid = Grid2D(12, 10)
+        obs_columns = np.arange(grid.ny * grid.nx)[::4]
+        geometry = LocalAnalysisGeometry(
+            grid,
+            obs_columns,
+            LocalizationConfig(cutoff=2.0e6, min_weight=1e-4),
+            np.ones(obs_columns.size),
+        )
+        assert geometry.mode == "grouped"
+        covered = np.concatenate(
+            [g.columns for g in geometry.groups] + [geometry.empty_columns]
+        )
+        assert np.array_equal(np.sort(covered), np.arange(grid.ny * grid.nx))
+
+
+class TestFusedScorePath:
+    def test_log_weights_clamped_nonpositive(self):
+        """`dist_sq` can round negative when z = α x_j with large states."""
+        rng = np.random.default_rng(0)
+        ensemble = rng.standard_normal((6, 40)) * 1.0e6
+        est = MonteCarloScoreEstimator(ensemble)
+        t = 0.37
+        alpha = float(est.schedule.alpha(t))
+        logw = est.log_weights(alpha * ensemble, t)
+        assert np.all(np.isfinite(logw))
+        assert logw.max() <= 0.0
+
+    def test_fused_score_matches_reference(self):
+        rng = np.random.default_rng(1)
+        ensemble = rng.standard_normal((15, 64)) * 2.0
+        est = MonteCarloScoreEstimator(ensemble)
+        z = rng.standard_normal((9, 64))
+        for t in (0.9, 0.5, 0.07):
+            np.testing.assert_allclose(
+                est.score(z, t), est.score_reference(z, t), atol=1e-12, rtol=1e-12
+            )
+
+    def test_fused_score_1d_input(self):
+        est = MonteCarloScoreEstimator(np.random.default_rng(2).normal(size=(10, 5)))
+        out = est.score(np.zeros(5), t=0.3)
+        assert out.shape == (5,)
+
+    def test_minibatch_rng_parity(self):
+        rng = np.random.default_rng(3)
+        ensemble = rng.standard_normal((12, 8))
+        z = rng.standard_normal((4, 8))
+        fused = MonteCarloScoreEstimator(ensemble, minibatch=5, rng=11)
+        reference = MonteCarloScoreEstimator(ensemble, minibatch=5, rng=11)
+        np.testing.assert_allclose(
+            fused.score(z, 0.4), reference.score_reference(z, 0.4), atol=1e-12
+        )
+        assert fused.rng.bit_generator.state == reference.rng.bit_generator.state
+
+    def test_buffered_sampler_draw_parity(self):
+        """The buffered integrator consumes the random stream identically."""
+        schedule = LinearAlphaSchedule()
+        score = lambda z, t: -z
+        fast = ReverseSDESampler(schedule, n_steps=25, reuse_buffers=True)
+        slow = ReverseSDESampler(schedule, n_steps=25, reuse_buffers=False)
+        rng_a, rng_b = default_rng(5), default_rng(5)
+        a = fast.sample(score, 6, 4, rng=rng_a)
+        b = slow.sample(score, 6, 4, rng=rng_b)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+        np.testing.assert_allclose(a, b, atol=1e-12, rtol=1e-12)
+
+    def test_buffered_sampler_trajectory_and_ode(self):
+        sampler = ReverseSDESampler(n_steps=7, stochastic=False)
+        traj = sampler.sample(lambda z, t: -z, 4, 2, rng=0, return_trajectory=True)
+        assert traj.shape == (8, 4, 2)
+        reference = ReverseSDESampler(n_steps=7, stochastic=False, reuse_buffers=False)
+        traj_ref = reference.sample(lambda z, t: -z, 4, 2, rng=0, return_trajectory=True)
+        np.testing.assert_allclose(traj, traj_ref, atol=1e-12)
+
+
+class TestFusedEnSFEquivalence:
+    @pytest.mark.parametrize(
+        "operator_factory",
+        [
+            lambda d: IdentityObservation(d, 1.0),
+            lambda d: SubsampledObservation.every_nth(d, 3, 0.8),
+            lambda d: NonlinearObservation(d, kind="arctan", obs_error_var=0.5),
+        ],
+        ids=["identity", "subsampled", "nonlinear"],
+    )
+    def test_fused_matches_reference_path(self, operator_factory):
+        grid, rng, ensemble, truth = _case(seed=9, members=20, scale=3.0)
+        operator = operator_factory(grid.size)
+        observation = operator.observe(truth, rng=rng)
+        cfg_kwargs = dict(n_sde_steps=20)
+        reference = EnSF(EnSFConfig(fused=False, **cfg_kwargs), rng=13)
+        fused = EnSF(EnSFConfig(fused=True, **cfg_kwargs), rng=13)
+        a_ref = reference.analyze(ensemble, observation, operator)
+        a_new = fused.analyze(ensemble, observation, operator)
+        assert reference.rng.bit_generator.state == fused.rng.bit_generator.state
+        np.testing.assert_allclose(a_new, a_ref, atol=1e-9, rtol=1e-9)
+
+    def test_fused_analyze_members_parity(self):
+        grid, rng, ensemble, truth = _case(seed=10, members=10, scale=2.0)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        cfg_kwargs = dict(n_sde_steps=15)
+        ref = EnSF(EnSFConfig(fused=False, **cfg_kwargs)).analyze_members(
+            ensemble, observation, operator, n_local_members=4, seed=3
+        )
+        new = EnSF(EnSFConfig(fused=True, **cfg_kwargs)).analyze_members(
+            ensemble, observation, operator, n_local_members=4, seed=3
+        )
+        assert new.shape == (4, grid.size)
+        np.testing.assert_allclose(new, ref, atol=1e-9, rtol=1e-9)
+
+
+class TestBenchRecorder:
+    def test_sections_and_report(self):
+        rec = BenchRecorder()
+        with rec.section("analysis"):
+            pass
+        rec.add("analysis", 0.5)
+        rec.add("forecast", 0.25)
+        assert rec.counts() == {"analysis": 2, "forecast": 1}
+        assert rec.totals()["forecast"] == 0.25
+        assert rec.mean("forecast") == 0.25
+        report = rec.report()
+        assert report["analysis"]["count"] == 2
+        assert len(report["analysis"]["per_cycle_s"]) == 2
+
+    def test_speedup_and_errors(self):
+        assert BenchRecorder.speedup(2.0, 0.5) == 4.0
+        with pytest.raises(ValueError):
+            BenchRecorder.speedup(1.0, 0.0)
+        with pytest.raises(KeyError):
+            BenchRecorder().mean("missing")
+
+    def test_write_json(self, tmp_path):
+        rec = BenchRecorder()
+        rec.add("analysis", 0.125)
+        path = tmp_path / "BENCH_test.json"
+        payload = rec.write_json(path, benchmark="unit", letkf={"speedup": 6.0})
+        assert path.exists()
+        assert payload["benchmark"] == "unit"
+        assert payload["letkf"]["speedup"] == 6.0
+        assert payload["sections"]["analysis"]["count"] == 1
+
+    def test_run_osse_reports_timing_breakdown(self):
+        model = Lorenz96(dim=12)
+        rng = np.random.default_rng(0)
+        truth0 = rng.standard_normal(12)
+        operator = IdentityObservation(12, 1.0)
+        filt = EnSF(EnSFConfig(n_sde_steps=5), rng=1)
+        config = OSSEConfig(n_cycles=3, steps_per_cycle=1, ensemble_size=4, seed=0)
+        result = run_osse(model, model, filt, operator, truth0, config)
+        assert result.timing is not None
+        for section in ("truth", "forecast", "analysis"):
+            assert len(result.timing[section]["per_cycle_s"]) == 3
+            assert result.timing[section]["total_s"] >= 0.0
+        assert "timing" in result.summary()
+
+    def test_shared_recorder_attributes_timing_per_run(self):
+        model = Lorenz96(dim=12)
+        truth0 = np.random.default_rng(0).standard_normal(12)
+        operator = IdentityObservation(12, 1.0)
+        config = OSSEConfig(n_cycles=2, steps_per_cycle=1, ensemble_size=4, seed=0)
+        recorder = BenchRecorder()
+        for seed in (1, 2):
+            filt = EnSF(EnSFConfig(n_sde_steps=5), rng=seed)
+            result = run_osse(
+                model, model, filt, operator, truth0, config, recorder=recorder
+            )
+            # each run reports only its own cycles even on a shared recorder
+            assert result.timing["analysis"]["count"] == 2
+        assert recorder.counts()["analysis"] == 4
