@@ -5,13 +5,14 @@ Tier-1 CI (`pytest -x -q`) deselects every test under benchmarks/ via the
 
 Usage::
 
-    python benchmarks/run_all.py            # kernel speedup benchmarks only
+    python benchmarks/run_all.py            # kernel + forecast speedup benchmarks
     python benchmarks/run_all.py --all      # full reproduction benchmark suite
     python benchmarks/run_all.py <pytest args...>
 
-The kernel benchmarks write/update ``BENCH_kernels.json`` at the repository
-root, recording the speedup trajectory of the vectorized analysis kernels
-(see :mod:`repro.utils.timing` for the file format).
+The default run refreshes ``BENCH_kernels.json`` (vectorized analysis
+kernels) and ``BENCH_forecast.json`` (fused pseudo-spectral forecast engine
+plus the 128×128 paper-scale OSSE breakdown) at the repository root (see
+:mod:`repro.utils.timing` for the file format).
 """
 
 from __future__ import annotations
@@ -39,7 +40,10 @@ def main(argv: list[str] | None = None) -> int:
     elif any(not a.startswith("-") for a in argv):
         targets = []  # explicit test paths supplied by the caller
     else:
-        targets = [str(BENCH_DIR / "test_bench_kernels.py")]
+        targets = [
+            str(BENCH_DIR / "test_bench_kernels.py"),
+            str(BENCH_DIR / "test_bench_forecast.py"),
+        ]
     return pytest.main(["-m", "bench", "-q", "-s", *targets, *argv])
 
 

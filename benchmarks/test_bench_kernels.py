@@ -43,7 +43,7 @@ from repro.core.observations import IdentityObservation
 from repro.da.letkf import LETKF, LETKFConfig
 from repro.da.localization import LocalizationConfig
 from repro.utils.grid import Grid2D
-from repro.utils.timing import BenchRecorder
+from repro.utils.timing import BenchRecorder, best_of
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RECORD_PATH = REPO_ROOT / "BENCH_kernels.json"
@@ -51,17 +51,6 @@ RECORD_PATH = REPO_ROOT / "BENCH_kernels.json"
 N_MEMBERS = 20
 LETKF_GRID = (64, 64)
 ENSF_GRIDS = ((16, 16), (32, 32), (64, 64))
-
-
-def _best_of(fn, repeats=3):
-    """Best-of-N wall time (seconds) and the last return value."""
-    best = np.inf
-    value = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, value
 
 
 def _rmse(ensemble, truth):
@@ -84,14 +73,14 @@ def _bench_letkf():
     grid, ensemble, truth, operator, observation, config = _letkf_case()
     letkf = LETKF(grid, config)
 
-    t_ref, ref = _best_of(lambda: letkf.analyze_reference(ensemble, observation, operator))
+    t_ref, ref = best_of(lambda: letkf.analyze_reference(ensemble, observation, operator))
 
     # First batched call builds and caches the geometry; steady-state cycles
     # (what an OSSE pays per analysis) reuse it.
     build_start = time.perf_counter()
     letkf.analyze(ensemble, observation, operator)
     t_build = time.perf_counter() - build_start
-    t_new, new = _best_of(lambda: letkf.analyze(ensemble, observation, operator))
+    t_new, new = best_of(lambda: letkf.analyze(ensemble, observation, operator))
 
     return {
         "grid": list(LETKF_GRID),
@@ -120,8 +109,8 @@ def _bench_ensf_case(shape, stochastic):
         analysis = filt.analyze(ensemble, observation, operator)
         return filt, analysis
 
-    t_ref, (ref_filter, ref) = _best_of(lambda: run(fused=False, seed=2024), repeats=5)
-    t_new, (new_filter, new) = _best_of(lambda: run(fused=True, seed=2024), repeats=5)
+    t_ref, (ref_filter, ref) = best_of(lambda: run(fused=False, seed=2024), repeats=5)
+    t_new, (new_filter, new) = best_of(lambda: run(fused=True, seed=2024), repeats=5)
 
     return {
         "grid": list(shape),

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Tier-1 smoke check (see pytest.ini):
+#   1. The test suite must *collect* with scipy blocked — the FFT shim and
+#      everything importing it must defer scipy imports so numpy-only
+#      installs keep working.
+#   2. The tier-1 suite itself must pass; --durations=10 surfaces creeping
+#      slow tests.
+# Usage: scripts/smoke.sh [extra pytest args for step 2]
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== smoke 1/2: collection with scipy blocked (numpy-only install) =="
+python - <<'EOF'
+import sys
+
+class _BlockSciPy:
+    """Meta-path hook simulating an environment without scipy."""
+    def find_module(self, name, path=None):  # py<3.12 protocol
+        return self if name == "scipy" or name.startswith("scipy.") else None
+    def find_spec(self, name, path=None, target=None):
+        if name == "scipy" or name.startswith("scipy."):
+            raise ImportError(f"{name} blocked by scripts/smoke.sh (numpy-only check)")
+        return None
+    def load_module(self, name):
+        raise ImportError(f"{name} blocked by scripts/smoke.sh (numpy-only check)")
+
+sys.meta_path.insert(0, _BlockSciPy())
+for mod in list(sys.modules):
+    if mod == "scipy" or mod.startswith("scipy."):
+        del sys.modules[mod]
+
+import pytest
+
+# Collection imports every test module (and through them the package); any
+# unconditional `import scipy` fails loudly here.
+rc = pytest.main(["--collect-only", "-q", "--no-header", "-p", "no:cacheprovider"])
+if rc != 0:
+    raise SystemExit(f"collection failed with scipy blocked (exit {rc})")
+print("collection OK without scipy")
+EOF
+
+echo "== smoke 2/2: tier-1 suite with --durations=10 =="
+exec python -m pytest -x -q --durations=10 "$@"

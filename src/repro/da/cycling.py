@@ -254,13 +254,16 @@ def free_run(
     config: OSSEConfig,
     model_error: StochasticModelErrorMixture | None = None,
     label: str = "free-run",
+    recorder: BenchRecorder | None = None,
 ) -> CyclingResult:
     """Run a no-DA experiment (the "SQG only" / "ViT only" curves of Fig. 4).
 
     A single deterministic forecast started from the same initial state as
     the truth is compared against the (model-error-perturbed) truth; the
     growing RMSE illustrates the chaotic error growth that assimilation must
-    control.
+    control.  Like :func:`run_osse`, the per-cycle ``"truth"``/``"forecast"``
+    wall times are recorded (there is no ``"analysis"`` section), so the
+    benchmark harness can attribute free-run cost with the same breakdown.
     """
     cfg = OSSEConfig(
         n_cycles=config.n_cycles,
@@ -278,11 +281,17 @@ def free_run(
     times = np.arange(1, cfg.n_cycles + 1, dtype=float)
     run_rmse = np.zeros(cfg.n_cycles)
 
+    if recorder is None:
+        recorder = BenchRecorder()
+    recorder_start = recorder.snapshot()
+
     for cycle in range(cfg.n_cycles):
-        truth = truth_model.forecast(truth, n_steps=cfg.steps_per_cycle)
-        if model_error is not None and cfg.apply_model_error_to_truth:
-            truth = model_error.perturb(truth)
-        prediction = forecast_model.forecast(prediction, n_steps=cfg.steps_per_cycle)
+        with recorder.section("truth"):
+            truth = truth_model.forecast(truth, n_steps=cfg.steps_per_cycle)
+            if model_error is not None and cfg.apply_model_error_to_truth:
+                truth = model_error.perturb(truth)
+        with recorder.section("forecast"):
+            prediction = forecast_model.forecast(prediction, n_steps=cfg.steps_per_cycle)
         run_rmse[cycle] = rmse(prediction, truth)
 
     return CyclingResult(
@@ -293,4 +302,5 @@ def free_run(
         truth_final=truth,
         analysis_mean_final=prediction,
         label=label,
+        timing=recorder.report(since=recorder_start),
     )

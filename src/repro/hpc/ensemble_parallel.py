@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,6 +59,14 @@ def _ensf_chunk(args):
 class EnsembleExecutor:
     """Map ensemble-member work over worker processes.
 
+    The worker pool is created lazily and **reused across calls** (and hence
+    across OSSE cycles): process start-up plus re-importing numpy costs far
+    more than a cycle's worth of forecast work for small ensembles, so a
+    fresh pool per cycle would swamp the parallel speedup.  Models that carry
+    forecast workspaces (e.g. the fused SQG engine) drop them when pickled to
+    workers and rebuild them there on first use, so shipping a model per
+    chunk stays cheap.
+
     Parameters
     ----------
     n_workers:
@@ -67,20 +76,69 @@ class EnsembleExecutor:
         work is too small to amortise process start-up.
     min_members_per_worker:
         Below this many members per worker the executor runs serially.
+    reuse_pool:
+        Keep the worker pool alive between calls (default).  ``False``
+        restores the tear-down-per-call behaviour.  Use :meth:`close` (or the
+        context-manager form) to release workers deterministically.
     """
 
-    def __init__(self, n_workers: int | None = None, min_members_per_worker: int = 4):
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        min_members_per_worker: int = 4,
+        reuse_pool: bool = True,
+    ):
         if n_workers is None:
             n_workers = min(8, os.cpu_count() or 1)
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
         self.n_workers = int(n_workers)
         self.min_members_per_worker = int(min_members_per_worker)
+        self.reuse_pool = bool(reuse_pool)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
 
     # ------------------------------------------------------------------ #
     def _effective_workers(self, n_members: int) -> int:
         by_size = max(1, n_members // self.min_members_per_worker)
         return max(1, min(self.n_workers, by_size))
+
+    def _run_jobs(self, fn, jobs, workers: int) -> list:
+        """Run ``jobs`` on a pool of at least ``workers`` processes."""
+        if not self.reuse_pool:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, jobs))
+        if self._pool is None or self._pool_workers < workers:
+            self.close()
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+        try:
+            return list(self._pool.map(fn, jobs))
+        except BrokenProcessPool:
+            # A dead pool would poison every later call; drop it so the next
+            # call builds a fresh one (the per-call behaviour this class
+            # replaced recovered the same way).
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (no-op when none is open)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "EnsembleExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter tear-down: the pool reaps itself
 
     def map_states(self, model, ensemble: np.ndarray, n_steps: int = 1) -> np.ndarray:
         """Propagate an ``(m, d)`` ensemble through ``model`` member-parallel."""
@@ -92,8 +150,7 @@ class EnsembleExecutor:
             return model.forecast(ensemble, n_steps=n_steps)
         slices = ensemble_slices(ensemble.shape[0], workers)
         jobs = [(model, ensemble[s], n_steps) for s in slices]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_forecast_chunk, jobs))
+        results = self._run_jobs(_forecast_chunk, jobs, workers)
         return np.concatenate(results, axis=0)
 
     def analyze_ensf(
@@ -124,6 +181,5 @@ class EnsembleExecutor:
         if workers == 1:
             results = [_ensf_chunk(job) for job in jobs]
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_ensf_chunk, jobs))
+            results = self._run_jobs(_ensf_chunk, jobs, workers)
         return np.concatenate(results, axis=0)

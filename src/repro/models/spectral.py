@@ -8,6 +8,25 @@ Tulloch & Smith 2009 and the ``sqgturb`` reference implementation).
 All transforms operate on the trailing two axes so that batched states
 (ensembles) of shape ``(..., nlev, ny, nx)`` are handled with a single FFT
 call — this is the main vectorisation lever for ensemble forecasting.
+
+Transforms are routed through the pluggable backend shim
+(:mod:`repro.utils.fft`): :mod:`scipy.fft` with multi-worker support when
+available, :mod:`numpy.fft` otherwise.  Both produce bit-identical results.
+
+Fused-kernel support
+--------------------
+The 2/3 rule zeroes every column with ``|k_x|`` above the cutoff, so a masked
+spectrum carries information only in its first :attr:`kx_keep` columns.  The
+*retained-mode* transforms (:meth:`to_physical_retained`,
+:meth:`to_spectral_retained`) exploit this by feeding the FFT only the
+retained columns — bit-identical to transforming the full masked spectrum
+(the dropped columns are exact zeros) while skipping a third of the
+column-direction transform work.  Combined derivative-plus-dealias
+multipliers (:attr:`ikx_dealias`, :attr:`ily_dealias`) fold
+``truncate``-then-``ddx`` into one multiply; because the mask entries are
+exactly 0 or 1, ``(i·k·mask)·θ̂`` is bit-identical to ``i·k·(mask·θ̂)``.
+These are the building blocks of the fused SQG tendency kernel
+(:meth:`repro.models.sqg.SQGModel.step_spectral`).
 """
 
 from __future__ import annotations
@@ -15,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.utils.fft import FFTBackend, resolve_backend
 
 __all__ = ["SpectralGrid"]
 
@@ -38,9 +59,21 @@ class SpectralGrid:
         Physical domain lengths (metres).
     dealias:
         Apply the 2/3 rule when truncating spectra of nonlinear products.
+    backend:
+        FFT backend name (``"numpy"``/``"scipy"``), an
+        :class:`~repro.utils.fft.FFTBackend`, or ``None`` for the
+        process-wide default (``REPRO_FFT_BACKEND`` / auto-detection).
     """
 
-    def __init__(self, nx: int, ny: int, lx: float, ly: float, dealias: bool = True):
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        lx: float,
+        ly: float,
+        dealias: bool = True,
+        backend: str | FFTBackend | None = None,
+    ):
         if nx < 4 or ny < 4:
             raise ValueError("spectral grid needs at least 4 points per direction")
         if nx % 2 or ny % 2:
@@ -50,6 +83,7 @@ class SpectralGrid:
         self.lx = float(lx)
         self.ly = float(ly)
         self.dealias = bool(dealias)
+        self.fft = resolve_backend(backend)
 
         # rfft2 layout: full frequencies along y (axis -2), half along x (axis -1).
         kx = 2.0 * np.pi / self.lx * np.arange(0, self.nx // 2 + 1)
@@ -68,6 +102,19 @@ class SpectralGrid:
             )
 
         self._arrays = _SpectralArrays(k=k2d, l=l2d, ksq=ksq, dealias_mask=mask)
+
+        # Cached derived arrays (satellite: kappa was recomputed per access).
+        self._kappa = np.sqrt(ksq)
+        self._ksq_max = float(ksq.max())
+        self._hyperdiff_cache: dict[tuple[float, float, int], np.ndarray] = {}
+
+        # Number of retained kx columns: every column at index >= kx_keep is
+        # zeroed by the mask, so masked spectra are fully described by their
+        # first kx_keep columns (= nx//2+1 when dealiasing is off).
+        retained_cols = np.nonzero(mask.any(axis=0))[0]
+        self._kx_keep = int(retained_cols[-1]) + 1
+        self._ikx_dealias = 1j * k2d * mask
+        self._ily_dealias = 1j * l2d * mask
 
     # ------------------------------------------------------------------ #
     # wavenumber arrays
@@ -89,18 +136,33 @@ class SpectralGrid:
 
     @property
     def kappa(self) -> np.ndarray:
-        """Total wavenumber magnitude ``sqrt(k² + l²)``."""
-        return np.sqrt(self._arrays.ksq)
+        """Total wavenumber magnitude ``sqrt(k² + l²)`` (cached)."""
+        return self._kappa
 
     @property
     def ksq_max(self) -> float:
         """Largest resolved squared wavenumber (used to scale hyperdiffusion)."""
-        return float(self._arrays.ksq.max())
+        return self._ksq_max
 
     @property
     def dealias_mask(self) -> np.ndarray:
         """2/3-rule mask (ones where retained, zeros where truncated)."""
         return self._arrays.dealias_mask
+
+    @property
+    def kx_keep(self) -> int:
+        """Number of leading kx columns a masked spectrum can be non-zero in."""
+        return self._kx_keep
+
+    @property
+    def ikx_dealias(self) -> np.ndarray:
+        """Combined multiplier ``i·k·mask`` (x-derivative of a truncated field)."""
+        return self._ikx_dealias
+
+    @property
+    def ily_dealias(self) -> np.ndarray:
+        """Combined multiplier ``i·l·mask`` (y-derivative of a truncated field)."""
+        return self._ily_dealias
 
     @property
     def spectral_shape(self) -> tuple[int, int]:
@@ -114,13 +176,42 @@ class SpectralGrid:
         """Forward transform of the trailing ``(ny, nx)`` axes."""
         field = np.asarray(field)
         self._check_physical(field)
-        return np.fft.rfft2(field, axes=(-2, -1))
+        return self.fft.rfft2(field, axes=(-2, -1))
 
     def to_physical(self, spec: np.ndarray) -> np.ndarray:
         """Inverse transform returning a real field on the trailing axes."""
         spec = np.asarray(spec)
         self._check_spectral(spec)
-        return np.fft.irfft2(spec, s=(self.ny, self.nx), axes=(-2, -1))
+        return self.fft.irfft2(spec, s=(self.ny, self.nx), axes=(-2, -1))
+
+    def to_physical_retained(self, spec_retained: np.ndarray) -> np.ndarray:
+        """Inverse transform of the retained columns of a masked spectrum.
+
+        ``spec_retained`` holds the first :attr:`kx_keep` columns of a
+        2/3-truncated spectrum; the remaining columns are exact zeros and are
+        never materialised.  Bit-identical to
+        ``to_physical(full_masked_spectrum)``.
+        """
+        spec_retained = np.asarray(spec_retained)
+        if spec_retained.shape[-2:] != (self.ny, self._kx_keep):
+            raise ValueError(
+                f"retained spectrum trailing shape {spec_retained.shape[-2:]} "
+                f"!= {(self.ny, self._kx_keep)}"
+            )
+        w = self.fft.ifft(spec_retained, axis=-2)
+        return self.fft.irfft(w, n=self.nx, axis=-1)
+
+    def to_spectral_retained(self, field: np.ndarray) -> np.ndarray:
+        """Forward transform returning only the first :attr:`kx_keep` columns.
+
+        The result is *not* row-masked; multiply by
+        ``dealias_mask[:, :kx_keep]`` to complete the 2/3 truncation.
+        Bit-identical to ``to_spectral(field)[..., :kx_keep]``.
+        """
+        field = np.asarray(field)
+        self._check_physical(field)
+        r = self.fft.rfft(field, axis=-1)
+        return self.fft.fft(r[..., : self._kx_keep], axis=-2)
 
     def truncate(self, spec: np.ndarray) -> np.ndarray:
         """Apply the 2/3 dealiasing mask to a spectral array."""
@@ -151,12 +242,15 @@ class SpectralGrid:
 
         Products are formed in physical space with dealiased inputs and the
         result is transformed back and truncated, following the standard
-        pseudo-spectral 2/3-rule treatment.
+        pseudo-spectral 2/3-rule treatment.  The combined derivative×mask
+        multipliers dealias and differentiate in a single pass (the inputs
+        are not truncated separately, which previously cost two redundant
+        full-array multiplies).
         """
-        psi_spec = self.truncate(psi_spec)
-        theta_spec = self.truncate(theta_spec)
-        psi_x, psi_y = self.gradient_physical(psi_spec)
-        th_x, th_y = self.gradient_physical(theta_spec)
+        psi_x = self.to_physical(self.ikx_dealias * psi_spec)
+        psi_y = self.to_physical(self.ily_dealias * psi_spec)
+        th_x = self.to_physical(self.ikx_dealias * theta_spec)
+        th_y = self.to_physical(self.ily_dealias * theta_spec)
         jac = psi_x * th_y - psi_y * th_x
         return self.truncate(self.to_spectral(jac))
 
@@ -167,14 +261,20 @@ class SpectralGrid:
 
         Damps the largest resolved wavenumber with e-folding time
         ``efolding_time`` and scales as ``(K²/K²_max)^(order/2)`` — this is
-        the implicit hyperdiffusion treatment referenced in §II-B.
+        the implicit hyperdiffusion treatment referenced in §II-B.  The
+        multiplier is cached per ``(dt, efolding_time, order)``.
         """
         if efolding_time <= 0:
             raise ValueError("efolding_time must be positive")
         if order <= 0 or order % 2:
             raise ValueError("hyperdiffusion order must be a positive even integer")
-        ratio = self.ksq / self.ksq_max
-        return np.exp(-(dt / efolding_time) * ratio ** (order // 2))
+        key = (float(dt), float(efolding_time), int(order))
+        cached = self._hyperdiff_cache.get(key)
+        if cached is None:
+            ratio = self.ksq / self.ksq_max
+            cached = np.exp(-(dt / efolding_time) * ratio ** (order // 2))
+            self._hyperdiff_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # validation helpers

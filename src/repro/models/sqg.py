@@ -39,11 +39,38 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.models.spectral import SpectralGrid
+from repro.utils.fft import FFTBackend
 from repro.utils.grid import Grid2D
 from repro.utils.random import default_rng
 from repro.utils.spectra import kinetic_energy_spectrum, spectral_slope
 
 __all__ = ["SQGParameters", "SQGModel", "spinup_sqg"]
+
+
+class _ForecastWorkspace:
+    """Persistent buffers for the fused tendency/RK4 kernel.
+
+    One workspace exists per leading (batch) shape; it is reused across RK4
+    stages, time steps and OSSE cycles, so the fused path performs no
+    per-stage allocations for its spectral intermediates.  (The FFT output
+    arrays are still allocated by the backend — numpy/scipy expose no ``out=``
+    for transforms.)
+    """
+
+    def __init__(self, lead: tuple[int, ...], ny: int, nkx: int, keep: int):
+        full = lead + (2, ny, nkx)
+        pruned = lead + (2, ny, keep)
+        level = lead + (ny, keep)
+        self.thp = np.empty(pruned, dtype=complex)  # contiguous retained-state copy
+        self.thf = np.empty(pruned, dtype=complex)  # buoyancy-scaled θ̂
+        self.psi = np.empty(pruned, dtype=complex)
+        self.t1 = np.empty(level, dtype=complex)
+        self.t2 = np.empty(level, dtype=complex)
+        self.quad = np.empty((4,) + pruned, dtype=complex)  # θ̂_x, θ̂_y, û, v̂
+        self.k = [np.empty(full, dtype=complex) for _ in range(4)]
+        self.stage = np.empty(full, dtype=complex)
+        self.acc = np.empty(full, dtype=complex)
+        self.div = np.empty(full, dtype=complex)
 
 
 @dataclass(frozen=True)
@@ -116,13 +143,43 @@ class SQGModel:
     flattened states of shape ``(state_size,)`` or ``(m, state_size)`` are
     accepted by :meth:`forecast`, which is how the DA layer drives it.
     Internally states are ``(..., 2, ny, nx)`` physical fields.
+
+    Two implementations of the time step are provided (the same oracle
+    pattern as ``LETKF.analyze`` / ``analyze_reference``):
+
+    * :meth:`step_spectral` (default) — the **fused kernel**.  The four
+      advection fields ``θ̂_x, θ̂_y, û, v̂`` are built with precomputed
+      combined derivative×dealias multipliers on the retained spectral
+      columns only and inverse-transformed in one batched pruned FFT per
+      tendency call; products, relaxation and the RK4 combination run
+      in-place on persistent workspace buffers.  Bit-identical to the
+      reference (asserted in ``tests/unit/test_forecast_kernels.py``).
+    * :meth:`step_spectral_reference` — the original implementation, kept
+      verbatim as the numerical oracle (``fused=False`` routes the model
+      through it).
+
+    Parameters
+    ----------
+    params:
+        Physical/numerical configuration.
+    fused:
+        Use the fused kernel (default).  ``False`` forces the reference step.
+    backend:
+        FFT backend selection forwarded to :class:`SpectralGrid`.
     """
 
-    def __init__(self, params: SQGParameters | None = None):
+    def __init__(
+        self,
+        params: SQGParameters | None = None,
+        *,
+        fused: bool = True,
+        backend: str | FFTBackend | None = None,
+    ):
         self.params = params or SQGParameters()
+        self.fused = bool(fused)
         p = self.params
         self.grid = p.grid
-        self.spectral = SpectralGrid(p.nx, p.ny, p.lx, p.ly, dealias=p.dealias)
+        self.spectral = SpectralGrid(p.nx, p.ny, p.lx, p.ly, dealias=p.dealias, backend=backend)
         self.state_size = self.grid.size
 
         # Vertical structure parameter μ = N K H / f for every wavenumber.
@@ -150,6 +207,37 @@ class SQGModel:
         self._hyperdiff = self.spectral.hyperdiffusion_filter(
             p.dt, p.hyperdiff_efold, p.hyperdiff_order
         )
+
+        # --- fused-kernel constants (hoisted out of the tendency loop) ----- #
+        sp = self.spectral
+        keep = sp.kx_keep
+        self._keep = keep
+        # Combined derivative×dealias multipliers on the retained columns.
+        self._ikx_m = np.ascontiguousarray(sp.ikx_dealias[:, :keep])
+        self._ily_m = np.ascontiguousarray(sp.ily_dealias[:, :keep])
+        self._mask_keep = np.ascontiguousarray(sp.dealias_mask[:, :keep])
+        # Pruned inversion coefficients (bit-identical values, fewer columns).
+        self._h_over_mu_k = np.ascontiguousarray(self._h_over_mu[:, :keep])
+        self._inv_sinh_k = np.ascontiguousarray(self._inv_sinh[:, :keep])
+        self._inv_tanh_k = np.ascontiguousarray(self._inv_tanh[:, :keep])
+        # Base state broadcast against (..., 2, ny, nx) physical fields.
+        self._u_base_col = self._u_base.reshape((2, 1, 1))
+        self._workspaces: dict[tuple[int, ...], _ForecastWorkspace] = {}
+
+    def __getstate__(self):
+        # Workspaces are cheap to rebuild and can be large; drop them so
+        # models ship compactly to EnsembleExecutor worker processes.
+        state = self.__dict__.copy()
+        state["_workspaces"] = {}
+        return state
+
+    def _workspace(self, lead: tuple[int, ...]) -> _ForecastWorkspace:
+        ws = self._workspaces.get(lead)
+        if ws is None:
+            p = self.params
+            ws = _ForecastWorkspace(lead, p.ny, p.nx // 2 + 1, self._keep)
+            self._workspaces[lead] = ws
+        return ws
 
     # ------------------------------------------------------------------ #
     # state helpers
@@ -233,9 +321,9 @@ class SQGModel:
         )
 
     # ------------------------------------------------------------------ #
-    # dynamics
+    # dynamics — reference path (numerical oracle, kept verbatim)
     # ------------------------------------------------------------------ #
-    def _tendency(self, theta_spec: np.ndarray) -> np.ndarray:
+    def _tendency_reference(self, theta_spec: np.ndarray) -> np.ndarray:
         """Spectral tendency of boundary θ̂ (advection + baroclinic source)."""
         sp = self.spectral
         psi_spec = self.invert(theta_spec)
@@ -264,15 +352,121 @@ class SQGModel:
             tend = tend + drag
         return tend
 
-    def step_spectral(self, theta_spec: np.ndarray) -> np.ndarray:
-        """Advance spectral θ̂ by one RK4 step plus implicit hyperdiffusion."""
+    def step_spectral_reference(self, theta_spec: np.ndarray) -> np.ndarray:
+        """Reference RK4 step plus implicit hyperdiffusion (pre-fusion path)."""
         dt = self.params.dt
-        k1 = self._tendency(theta_spec)
-        k2 = self._tendency(theta_spec + 0.5 * dt * k1)
-        k3 = self._tendency(theta_spec + 0.5 * dt * k2)
-        k4 = self._tendency(theta_spec + dt * k3)
+        k1 = self._tendency_reference(theta_spec)
+        k2 = self._tendency_reference(theta_spec + 0.5 * dt * k1)
+        k3 = self._tendency_reference(theta_spec + 0.5 * dt * k2)
+        k4 = self._tendency_reference(theta_spec + dt * k3)
         new = theta_spec + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
         return new * self._hyperdiff
+
+    # ------------------------------------------------------------------ #
+    # dynamics — fused path
+    # ------------------------------------------------------------------ #
+    def _tendency_fused(
+        self, theta_spec: np.ndarray, out: np.ndarray, ws: _ForecastWorkspace
+    ) -> np.ndarray:
+        """Fused spectral tendency, bit-identical to :meth:`_tendency_reference`.
+
+        Every floating-point operation of the reference is replicated in the
+        same order; the savings come from (a) the combined derivative×dealias
+        multipliers (the mask entries are exactly 0/1, so ``(i·k·mask)·θ̂``
+        matches ``i·k·(mask·θ̂)`` bit for bit), (b) transforming only the
+        retained spectral columns (the rest are exact zeros), (c) one batched
+        inverse transform for all four advection fields instead of four, and
+        (d) in-place arithmetic on workspace buffers.
+        """
+        sp = self.spectral
+        p = self.params
+        keep = self._keep
+
+        # Contiguous copy of the retained columns (strided views slow every
+        # subsequent elementwise pass).
+        np.copyto(ws.thp, theta_spec[..., :keep])
+        thp = ws.thp
+
+        # --- inversion θ̂ → ψ̂ on the retained columns ---------------------- #
+        th0 = np.multiply(thp[..., 0, :, :], self._factor, out=ws.thf[..., 0, :, :])
+        th1 = np.multiply(thp[..., 1, :, :], self._factor, out=ws.thf[..., 1, :, :])
+        np.multiply(th1, self._inv_sinh_k, out=ws.t1)
+        np.multiply(th0, self._inv_tanh_k, out=ws.t2)
+        np.subtract(ws.t1, ws.t2, out=ws.t1)
+        np.multiply(self._h_over_mu_k, ws.t1, out=ws.psi[..., 0, :, :])
+        np.multiply(th1, self._inv_tanh_k, out=ws.t1)
+        np.multiply(th0, self._inv_sinh_k, out=ws.t2)
+        np.subtract(ws.t1, ws.t2, out=ws.t1)
+        np.multiply(self._h_over_mu_k, ws.t1, out=ws.psi[..., 1, :, :])
+
+        # --- θ̂_x, θ̂_y, û, v̂ stacked for one batched inverse transform ----- #
+        np.multiply(self._ikx_m, thp, out=ws.quad[0])
+        np.multiply(self._ily_m, thp, out=ws.quad[1])
+        np.multiply(self._ily_m, ws.psi, out=ws.quad[2])
+        np.negative(ws.quad[2], out=ws.quad[2])  # û = −(i·l·mask)·ψ̂
+        np.multiply(self._ikx_m, ws.psi, out=ws.quad[3])
+        theta_x, theta_y, u, v = sp.to_physical_retained(ws.quad)
+
+        # --- physical-space products (reference operation order) ----------- #
+        np.add(u, self._u_base_col, out=u)
+        np.multiply(u, theta_x, out=u)
+        np.multiply(v, theta_y, out=theta_y)
+        np.add(u, theta_y, out=u)                 # advection
+        np.multiply(v, -self._mean_grad, out=v)   # baroclinic
+        np.add(u, v, out=u)
+        np.negative(u, out=u)                     # tend_phys
+
+        # --- back to (retained) spectral space, dealias, relax -------------- #
+        conv = sp.to_spectral_retained(u)
+        np.multiply(conv, self._mask_keep, out=conv)
+        np.divide(theta_spec, p.relaxation_time, out=ws.div)
+        np.subtract(conv, ws.div[..., :keep], out=out[..., :keep])
+        np.negative(ws.div[..., keep:], out=out[..., keep:])
+
+        if p.ekman_drag > 0.0:
+            drag0 = np.multiply(
+                theta_spec[..., 0, :, :], -p.ekman_drag, out=ws.div[..., 0, :, :]
+            )
+            np.add(out[..., 0, :, :], drag0, out=out[..., 0, :, :])
+            # The reference adds an all-zero drag level; replicate the +0.0
+            # pass so even signed zeros match.
+            np.add(out[..., 1, :, :], 0.0, out=out[..., 1, :, :])
+        return out
+
+    def step_spectral(self, theta_spec: np.ndarray) -> np.ndarray:
+        """Advance spectral θ̂ by one RK4 step plus implicit hyperdiffusion.
+
+        Dispatches to the fused kernel (default) or the reference path when
+        the model was built with ``fused=False``.  Both produce bit-identical
+        spectral states.
+        """
+        if not self.fused:
+            return self.step_spectral_reference(theta_spec)
+        theta_spec = np.asarray(theta_spec)
+        ws = self._workspace(theta_spec.shape[:-3])
+        dt = self.params.dt
+        k1, k2, k3, k4 = ws.k
+        self._tendency_fused(theta_spec, k1, ws)
+        np.multiply(k1, 0.5 * dt, out=ws.stage)
+        np.add(theta_spec, ws.stage, out=ws.stage)
+        self._tendency_fused(ws.stage, k2, ws)
+        np.multiply(k2, 0.5 * dt, out=ws.stage)
+        np.add(theta_spec, ws.stage, out=ws.stage)
+        self._tendency_fused(ws.stage, k3, ws)
+        np.multiply(k3, dt, out=ws.stage)
+        np.add(theta_spec, ws.stage, out=ws.stage)
+        self._tendency_fused(ws.stage, k4, ws)
+        # new = (θ̂ + dt/6 · (k1 + 2·k2 + 2·k3 + k4)) · hyperdiff, in the
+        # reference association order.
+        np.multiply(k2, 2.0, out=ws.acc)
+        np.add(k1, ws.acc, out=ws.acc)
+        np.multiply(k3, 2.0, out=ws.stage)
+        np.add(ws.acc, ws.stage, out=ws.acc)
+        np.add(ws.acc, k4, out=ws.acc)
+        np.multiply(ws.acc, dt / 6.0, out=ws.acc)
+        new = np.add(theta_spec, ws.acc)
+        np.multiply(new, self._hyperdiff, out=new)
+        return new
 
     def step(self, theta: np.ndarray, n_steps: int = 1) -> np.ndarray:
         """Advance physical states ``(..., 2, ny, nx)`` by ``n_steps`` steps."""

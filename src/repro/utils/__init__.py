@@ -1,6 +1,13 @@
-"""Shared utilities: RNG handling, grid geometry, spectra and timing."""
+"""Shared utilities: RNG handling, grid geometry, spectra, FFT backends and timing."""
 
 from repro.utils.random import SeedSequenceFactory, default_rng, split_rng
+from repro.utils.fft import (
+    FFTBackend,
+    available_backends,
+    default_backend_name,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.utils.grid import (
     Grid2D,
     periodic_distance_matrix,
@@ -12,12 +19,17 @@ from repro.utils.spectra import (
     spectral_slope,
     kinetic_energy_spectrum,
 )
-from repro.utils.timing import Timer, Stopwatch
+from repro.utils.timing import Timer, Stopwatch, best_of
 
 __all__ = [
     "SeedSequenceFactory",
     "default_rng",
     "split_rng",
+    "FFTBackend",
+    "available_backends",
+    "default_backend_name",
+    "resolve_backend",
+    "set_default_backend",
     "Grid2D",
     "periodic_distance_matrix",
     "periodic_delta",
@@ -27,4 +39,5 @@ __all__ = [
     "kinetic_energy_spectrum",
     "Timer",
     "Stopwatch",
+    "best_of",
 ]

@@ -34,7 +34,25 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["Timer", "Stopwatch", "BenchRecorder"]
+__all__ = ["Timer", "Stopwatch", "BenchRecorder", "best_of"]
+
+
+def best_of(fn, repeats: int = 3):
+    """Best-of-N wall time in seconds and the last return value of ``fn``.
+
+    The standard measurement loop of the kernel benchmarks: the minimum over
+    a few repeats filters out scheduler noise on shared hosts, and the value
+    is returned so accuracy-parity checks reuse the timed call.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
 
 
 class Timer:

@@ -1,0 +1,80 @@
+"""Shared test fixtures: the ``slow_reference`` oracle bundle.
+
+This starts the ROADMAP "reference-path retirement" item: every test that
+exercises a pre-refactor reference implementation — ``LETKF.analyze_reference``,
+``MonteCarloScoreEstimator.score_reference``, the ``fused=False`` EnSF /
+``reuse_buffers=False`` sampler configurations, and the forecast oracle
+``SQGModel.step_spectral_reference`` — reaches it through the
+:func:`slow_reference` fixture and is automatically tagged with the
+``slow_reference`` marker.  The oracle suite can then be selected
+(``pytest -m slow_reference``) or skipped (``-m "not slow_reference"``)
+wholesale; once the fused kernels have survived a few more PRs the oracles
+retire by deleting this bundle and its call sites, not by hunting through
+the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class ReferenceOracles:
+    """Accessors for the slow pre-refactor reference implementations.
+
+    Each method is a thin indirection; the point is that reference-path
+    usage is *named and greppable* rather than scattered as direct calls.
+    """
+
+    # -- PR 1 analysis oracles ------------------------------------------- #
+    @staticmethod
+    def letkf_analyze(letkf, *args, **kwargs):
+        """Per-column LETKF loop (oracle for the batched kernel)."""
+        return letkf.analyze_reference(*args, **kwargs)
+
+    @staticmethod
+    def score(estimator, *args, **kwargs):
+        """Unfused Monte-Carlo score path (oracle for ``score_into``)."""
+        return estimator.score_reference(*args, **kwargs)
+
+    @staticmethod
+    def ensf(config_kwargs=None, rng=None):
+        """EnSF on the unfused analysis path (``fused=False``)."""
+        from repro.core.ensf import EnSF, EnSFConfig
+
+        kwargs = dict(config_kwargs or {})
+        kwargs["fused"] = False
+        return EnSF(EnSFConfig(**kwargs), rng=rng)
+
+    @staticmethod
+    def sde_sampler(*args, **kwargs):
+        """Reverse-SDE integrator without buffer reuse."""
+        from repro.core.sde import ReverseSDESampler
+
+        kwargs["reuse_buffers"] = False
+        return ReverseSDESampler(*args, **kwargs)
+
+    # -- PR 2 forecast oracle -------------------------------------------- #
+    @staticmethod
+    def sqg_step(model, theta_spec):
+        """Pre-fusion RK4 pseudo-spectral step (oracle for the fused kernel)."""
+        return model.step_spectral_reference(theta_spec)
+
+    @staticmethod
+    def sqg_model(params=None, **kwargs):
+        """An :class:`SQGModel` forced onto the reference step path."""
+        from repro.models.sqg import SQGModel
+
+        return SQGModel(params, fused=False, **kwargs)
+
+
+@pytest.fixture
+def slow_reference() -> ReferenceOracles:
+    """Handle to the slow reference oracles (tags the test ``slow_reference``)."""
+    return ReferenceOracles()
+
+
+def pytest_collection_modifyitems(items):
+    """Auto-mark every test that requests the ``slow_reference`` fixture."""
+    for item in items:
+        if "slow_reference" in getattr(item, "fixturenames", ()):
+            item.add_marker(pytest.mark.slow_reference)

@@ -1,0 +1,233 @@
+"""Equivalence, invariance and backend-regression tests for the fused
+pseudo-spectral forecast engine.
+
+The fused tendency/RK4 kernel (`SQGModel.step_spectral`) must be
+**bit-identical** to the pre-fusion oracle (`step_spectral_reference`,
+reached through the shared ``slow_reference`` fixture): every floating-point
+operation of the reference is replicated in the same order, so the asserted
+tolerance is exact equality, not a closeness threshold.  The FFT backends
+(numpy/scipy pocketfft) must likewise produce identical trajectories.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.observations import IdentityObservation
+from repro.da.cycling import OSSEConfig, free_run, run_osse
+from repro.da.letkf import LETKF, LETKFConfig
+from repro.da.localization import LocalizationConfig
+from repro.models.sqg import SQGModel, SQGParameters
+from repro.utils.fft import available_backends
+
+
+def _states(model: SQGModel, n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    p = model.params
+    if n == 0:
+        return model.random_initial_condition(rng=rng, amplitude=3.0)
+    return np.stack(
+        [model.random_initial_condition(rng=rng, amplitude=3.0) for _ in range(n)]
+    )
+
+
+class TestFusedStepEquivalence:
+    @pytest.mark.parametrize("batch", [0, 1, 7], ids=["single", "batch1", "batch7"])
+    def test_bitwise_equal_to_reference(self, batch, slow_reference):
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0))
+        theta = _states(model, batch, seed=1)
+        spec = model.spectral.to_spectral(theta)
+        fused = model.step_spectral(spec)
+        reference = slow_reference.sqg_step(model, spec)
+        np.testing.assert_array_equal(fused, reference)
+        # second step reuses the workspace buffers — still exact
+        np.testing.assert_array_equal(
+            model.step_spectral(fused), slow_reference.sqg_step(model, reference)
+        )
+
+    def test_dealias_off(self, slow_reference):
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0, dealias=False))
+        assert model.spectral.kx_keep == 16 // 2 + 1  # nothing truncated
+        spec = model.spectral.to_spectral(_states(model, 3, seed=2))
+        np.testing.assert_array_equal(
+            model.step_spectral(spec), slow_reference.sqg_step(model, spec)
+        )
+
+    def test_ekman_drag_on(self, slow_reference):
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0, ekman_drag=1.0e-6))
+        spec = model.spectral.to_spectral(_states(model, 4, seed=3))
+        np.testing.assert_array_equal(
+            model.step_spectral(spec), slow_reference.sqg_step(model, spec)
+        )
+
+    def test_multistep_trajectory_identical(self, slow_reference):
+        params = SQGParameters(nx=16, ny=16, dt=1800.0)
+        fused = SQGModel(params)
+        reference = slow_reference.sqg_model(params)
+        ens = np.stack(
+            [fused.flatten(fused.random_initial_condition(rng=i)) for i in range(5)]
+        )
+        np.testing.assert_array_equal(
+            fused.forecast(ens, n_steps=6), reference.forecast(ens, n_steps=6)
+        )
+
+    def test_fused_false_routes_through_reference(self):
+        params = SQGParameters(nx=16, ny=16, dt=1800.0)
+        model = SQGModel(params, fused=False)
+        spec = model.spectral.to_spectral(_states(model, 2, seed=4))
+        np.testing.assert_array_equal(
+            model.step_spectral(spec), model.step_spectral_reference(spec)
+        )
+
+    def test_workspace_cached_per_batch_shape(self):
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0))
+        spec1 = model.spectral.to_spectral(_states(model, 3, seed=5))
+        spec2 = model.spectral.to_spectral(_states(model, 0, seed=6))
+        model.step_spectral(spec1)
+        model.step_spectral(spec2)
+        model.step_spectral(spec1)
+        assert set(model._workspaces) == {(3,), ()}
+
+    def test_pickle_drops_workspaces_and_stays_exact(self):
+        import pickle
+
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0))
+        ens = np.stack(
+            [model.flatten(model.random_initial_condition(rng=i)) for i in range(3)]
+        )
+        model.forecast(ens, n_steps=1)  # populate a workspace
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone._workspaces == {}
+        np.testing.assert_array_equal(
+            clone.forecast(ens, n_steps=3), model.forecast(ens, n_steps=3)
+        )
+
+
+class TestFusedStepInvariants:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SQGModel(SQGParameters(nx=32, ny=32, dt=1200.0))
+
+    def test_physical_fields_stay_real_and_finite(self, model):
+        theta = _states(model, 2, seed=7)
+        stepped = model.step(theta, n_steps=5)
+        assert stepped.dtype.kind == "f"
+        assert np.isfinite(stepped).all()
+        # the spectrum of the stepped field keeps Hermitian symmetry: a
+        # roundtrip through physical space is lossless
+        spec = model.spectral.to_spectral(stepped)
+        np.testing.assert_allclose(
+            model.spectral.to_physical(spec), stepped, atol=1e-10
+        )
+
+    def test_zero_mean_mode_preserved(self, model):
+        theta = _states(model, 0, seed=8)
+        assert abs(theta.mean()) < 1e-10
+        stepped = model.step(theta, n_steps=5)
+        assert abs(stepped.mean()) < 1e-8
+
+    def test_cfl_unchanged_by_fusion(self, model, slow_reference):
+        theta = model.step(_states(model, 0, seed=9), n_steps=50)
+        reference = slow_reference.sqg_model(model.params)
+        assert model.cfl_number(theta) == reference.cfl_number(theta)
+        assert 0.0 < model.cfl_number(theta) < 1.0
+
+
+class TestRetainedTransforms:
+    """Pruned-column transforms must match their full-width counterparts."""
+
+    def test_to_physical_retained_matches_full(self):
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0))
+        sp = model.spectral
+        rng = np.random.default_rng(10)
+        spec = sp.truncate(sp.to_spectral(rng.standard_normal((3, 2, 16, 16))))
+        pruned = np.ascontiguousarray(spec[..., : sp.kx_keep])
+        np.testing.assert_array_equal(
+            sp.to_physical_retained(pruned), sp.to_physical(spec)
+        )
+
+    def test_to_spectral_retained_matches_full(self):
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0))
+        sp = model.spectral
+        field = np.random.default_rng(11).standard_normal((2, 2, 16, 16))
+        np.testing.assert_array_equal(
+            sp.to_spectral_retained(field), sp.to_spectral(field)[..., : sp.kx_keep]
+        )
+
+    def test_retained_shape_validation(self):
+        sp = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0)).spectral
+        with pytest.raises(ValueError):
+            sp.to_physical_retained(np.zeros((16, sp.kx_keep + 1), dtype=complex))
+
+
+class TestBackendRegression:
+    def test_numpy_backend_forced(self):
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0), backend="numpy")
+        assert model.spectral.fft.name == "numpy"
+        theta = _states(model, 2, seed=12)
+        assert np.isfinite(model.step(theta, n_steps=2)).all()
+
+    @pytest.mark.skipif(
+        "scipy" not in available_backends(), reason="scipy not installed"
+    )
+    def test_backends_produce_identical_trajectories(self):
+        params = SQGParameters(nx=16, ny=16, dt=1800.0)
+        m_np = SQGModel(params, backend="numpy")
+        m_sp = SQGModel(params, backend="scipy")
+        assert m_sp.spectral.fft.name == "scipy"
+        ens = np.stack(
+            [m_np.flatten(m_np.random_initial_condition(rng=i)) for i in range(4)]
+        )
+        # pocketfft underlies both: trajectories must match bit for bit
+        np.testing.assert_array_equal(
+            m_np.forecast(ens, n_steps=5), m_sp.forecast(ens, n_steps=5)
+        )
+
+    @pytest.mark.skipif(
+        "scipy" not in available_backends(), reason="scipy not installed"
+    )
+    def test_backends_identical_reference_path_too(self, slow_reference):
+        params = SQGParameters(nx=16, ny=16, dt=1800.0)
+        m_np = slow_reference.sqg_model(params, backend="numpy")
+        m_sp = slow_reference.sqg_model(params, backend="scipy")
+        spec = m_np.spectral.to_spectral(_states(m_np, 2, seed=13))
+        np.testing.assert_array_equal(
+            m_np.step_spectral(spec), m_sp.step_spectral(spec)
+        )
+
+
+class TestFusedOSSEParity:
+    """The DA layer must be unable to tell the fused engine from the oracle."""
+
+    def test_letkf_osse_rmse_identical(self, slow_reference):
+        params = SQGParameters(nx=16, ny=16, dt=1800.0)
+        results = {}
+        for name, model in {
+            "fused": SQGModel(params),
+            "reference": slow_reference.sqg_model(params),
+        }.items():
+            truth0 = model.flatten(model.step(_states(model, 0, seed=14), n_steps=20))
+            letkf = LETKF(
+                model.params.grid,
+                LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6)),
+            )
+            operator = IdentityObservation(model.state_size, 1.0)
+            config = OSSEConfig(n_cycles=3, steps_per_cycle=2, ensemble_size=6, seed=5)
+            results[name] = run_osse(
+                model, model, letkf, operator, truth0, config, label=name
+            )
+        np.testing.assert_array_equal(
+            results["fused"].analysis_rmse, results["reference"].analysis_rmse
+        )
+        np.testing.assert_array_equal(
+            results["fused"].analysis_mean_final, results["reference"].analysis_mean_final
+        )
+
+    def test_free_run_records_timing_breakdown(self):
+        params = SQGParameters(nx=16, ny=16, dt=1800.0)
+        model = SQGModel(params)
+        truth0 = model.flatten(_states(model, 0, seed=15))
+        config = OSSEConfig(n_cycles=2, steps_per_cycle=1, ensemble_size=2, seed=0)
+        result = free_run(model, model, truth0, config)
+        assert result.timing is not None
+        for section in ("truth", "forecast"):
+            assert len(result.timing[section]["per_cycle_s"]) == 2

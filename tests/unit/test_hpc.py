@@ -434,3 +434,33 @@ class TestScalingHarness:
         executor = EnsembleExecutor(n_workers=2)
         with pytest.raises(ValueError):
             executor.map_states(Lorenz96(dim=8), np.zeros(8))
+
+    def test_executor_reuses_pool_across_calls(self):
+        model = Lorenz96(dim=8)
+        ens = np.random.default_rng(3).normal(size=(4, 8)) + 8.0
+        with EnsembleExecutor(n_workers=2, min_members_per_worker=1) as executor:
+            executor.map_states(model, ens, n_steps=1)
+            pool = executor._pool
+            assert pool is not None
+            executor.map_states(model, ens, n_steps=1)
+            assert executor._pool is pool  # same pool, no per-call respawn
+        assert executor._pool is None  # context exit released the workers
+
+    def test_executor_drops_broken_pool(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = EnsembleExecutor(n_workers=2, min_members_per_worker=1)
+
+        class _DeadPool:
+            def map(self, fn, jobs):
+                raise BrokenProcessPool("worker died")
+
+            def shutdown(self, *a, **k):
+                pass
+
+        executor._pool = _DeadPool()
+        executor._pool_workers = 2
+        with pytest.raises(BrokenProcessPool):
+            executor._run_jobs(lambda job: job, [1, 2], workers=2)
+        # the dead pool must not poison the next call
+        assert executor._pool is None

@@ -4,7 +4,10 @@ The batched LETKF (convolution and grouped-footprint assembly) and the fused
 EnSF score path must reproduce the pre-refactor reference implementations —
 ``LETKF.analyze_reference``, ``MonteCarloScoreEstimator.score_reference`` and
 the ``fused=False`` / ``reuse_buffers=False`` configurations — to near
-machine precision on seeded 16×16 SQG-sized cases.
+machine precision on seeded 16×16 SQG-sized cases.  All reference paths are
+reached through the shared ``slow_reference`` oracle fixture
+(``tests/conftest.py``), which also tags these tests with the
+``slow_reference`` marker.
 """
 
 import numpy as np
@@ -56,28 +59,28 @@ class TestGridGeometry:
 
 class TestBatchedLETKFEquivalence:
     @pytest.mark.parametrize("min_weight", [0.0, 1.0e-4])
-    def test_identity_network(self, min_weight):
+    def test_identity_network(self, min_weight, slow_reference):
         grid, rng, ensemble, truth = _case(seed=1)
         operator = IdentityObservation(grid.size, 1.2)
         observation = operator.observe(truth, rng=rng)
         cfg = LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6, min_weight=min_weight))
         letkf = LETKF(grid, cfg)
         batched = letkf.analyze(ensemble, observation, operator)
-        reference = letkf.analyze_reference(ensemble, observation, operator)
+        reference = slow_reference.letkf_analyze(letkf, ensemble, observation, operator)
         np.testing.assert_allclose(batched, reference, atol=1e-11, rtol=1e-11)
 
     @pytest.mark.parametrize("min_weight", [0.0, 1.0e-4])
-    def test_subsampled_network(self, min_weight):
+    def test_subsampled_network(self, min_weight, slow_reference):
         grid, rng, ensemble, truth = _case(seed=2)
         operator = SubsampledObservation.every_nth(grid.size, 3, 0.7)
         observation = operator.observe(truth, rng=rng)
         cfg = LETKFConfig(localization=LocalizationConfig(cutoff=3.0e6, min_weight=min_weight))
         letkf = LETKF(grid, cfg)
         batched = letkf.analyze(ensemble, observation, operator)
-        reference = letkf.analyze_reference(ensemble, observation, operator)
+        reference = slow_reference.letkf_analyze(letkf, ensemble, observation, operator)
         np.testing.assert_allclose(batched, reference, atol=1e-11, rtol=1e-11)
 
-    def test_nonuniform_obs_error_uses_grouped_mode(self):
+    def test_nonuniform_obs_error_uses_grouped_mode(self, slow_reference):
         grid, rng, ensemble, truth = _case(seed=3)
         var = 0.5 + rng.random(grid.size)
         operator = IdentityObservation(grid.size, var)
@@ -86,10 +89,10 @@ class TestBatchedLETKFEquivalence:
         letkf = LETKF(grid, cfg)
         assert letkf.geometry(operator).mode == "grouped"
         batched = letkf.analyze(ensemble, observation, operator)
-        reference = letkf.analyze_reference(ensemble, observation, operator)
+        reference = slow_reference.letkf_analyze(letkf, ensemble, observation, operator)
         np.testing.assert_allclose(batched, reference, atol=1e-11, rtol=1e-11)
 
-    def test_empty_footprints_keep_prior(self):
+    def test_empty_footprints_keep_prior(self, slow_reference):
         grid, rng, ensemble, truth = _case(seed=4)
         operator = SubsampledObservation.every_nth(grid.size, 7, 1.0)
         observation = operator.observe(truth, rng=rng)
@@ -101,23 +104,23 @@ class TestBatchedLETKFEquivalence:
         geometry = letkf.geometry(operator)
         assert geometry.empty_columns.size > 0
         batched = letkf.analyze(ensemble, observation, operator)
-        reference = letkf.analyze_reference(ensemble, observation, operator)
+        reference = slow_reference.letkf_analyze(letkf, ensemble, observation, operator)
         np.testing.assert_allclose(batched, reference, atol=1e-11, rtol=1e-11)
         # columns without local observations must keep the prior exactly
         col = int(geometry.empty_columns[0])
         state_idx = col + np.arange(grid.nlev) * (grid.ny * grid.nx)
         np.testing.assert_array_equal(batched[:, state_idx], ensemble[:, state_idx])
 
-    def test_use_batched_false_matches_reference(self):
+    def test_use_batched_false_matches_reference(self, slow_reference):
         grid, rng, ensemble, truth = _case(seed=5)
         operator = IdentityObservation(grid.size, 1.0)
         observation = operator.observe(truth, rng=rng)
         letkf = LETKF(grid, LETKFConfig(use_batched=False))
         out = letkf.analyze(ensemble, observation, operator)
-        reference = letkf.analyze_reference(ensemble, observation, operator)
+        reference = slow_reference.letkf_analyze(letkf, ensemble, observation, operator)
         np.testing.assert_array_equal(out, reference)
 
-    def test_batched_on_sqg_sized_cycling(self):
+    def test_batched_on_sqg_sized_cycling(self, slow_reference):
         """Member-wise parity holds through a short multi-cycle OSSE."""
         grid, rng, ensemble, truth = _case(seed=6, members=8)
         operator = IdentityObservation(grid.size, 1.0)
@@ -129,7 +132,7 @@ class TestBatchedLETKFEquivalence:
         for cycle in range(3):
             observation = operator.observe(truth, rng=np.random.default_rng(100 + cycle))
             state_b = batched.analyze(state_b, observation, operator)
-            state_r = reference.analyze_reference(state_r, observation, operator)
+            state_r = slow_reference.letkf_analyze(reference, state_r, observation, operator)
         np.testing.assert_allclose(state_b, state_r, atol=1e-10, rtol=1e-10)
 
 
@@ -204,14 +207,14 @@ class TestFusedScorePath:
         assert np.all(np.isfinite(logw))
         assert logw.max() <= 0.0
 
-    def test_fused_score_matches_reference(self):
+    def test_fused_score_matches_reference(self, slow_reference):
         rng = np.random.default_rng(1)
         ensemble = rng.standard_normal((15, 64)) * 2.0
         est = MonteCarloScoreEstimator(ensemble)
         z = rng.standard_normal((9, 64))
         for t in (0.9, 0.5, 0.07):
             np.testing.assert_allclose(
-                est.score(z, t), est.score_reference(z, t), atol=1e-12, rtol=1e-12
+                est.score(z, t), slow_reference.score(est, z, t), atol=1e-12, rtol=1e-12
             )
 
     def test_fused_score_1d_input(self):
@@ -219,34 +222,34 @@ class TestFusedScorePath:
         out = est.score(np.zeros(5), t=0.3)
         assert out.shape == (5,)
 
-    def test_minibatch_rng_parity(self):
+    def test_minibatch_rng_parity(self, slow_reference):
         rng = np.random.default_rng(3)
         ensemble = rng.standard_normal((12, 8))
         z = rng.standard_normal((4, 8))
         fused = MonteCarloScoreEstimator(ensemble, minibatch=5, rng=11)
         reference = MonteCarloScoreEstimator(ensemble, minibatch=5, rng=11)
         np.testing.assert_allclose(
-            fused.score(z, 0.4), reference.score_reference(z, 0.4), atol=1e-12
+            fused.score(z, 0.4), slow_reference.score(reference, z, 0.4), atol=1e-12
         )
         assert fused.rng.bit_generator.state == reference.rng.bit_generator.state
 
-    def test_buffered_sampler_draw_parity(self):
+    def test_buffered_sampler_draw_parity(self, slow_reference):
         """The buffered integrator consumes the random stream identically."""
         schedule = LinearAlphaSchedule()
         score = lambda z, t: -z
         fast = ReverseSDESampler(schedule, n_steps=25, reuse_buffers=True)
-        slow = ReverseSDESampler(schedule, n_steps=25, reuse_buffers=False)
+        slow = slow_reference.sde_sampler(schedule, n_steps=25)
         rng_a, rng_b = default_rng(5), default_rng(5)
         a = fast.sample(score, 6, 4, rng=rng_a)
         b = slow.sample(score, 6, 4, rng=rng_b)
         assert rng_a.bit_generator.state == rng_b.bit_generator.state
         np.testing.assert_allclose(a, b, atol=1e-12, rtol=1e-12)
 
-    def test_buffered_sampler_trajectory_and_ode(self):
+    def test_buffered_sampler_trajectory_and_ode(self, slow_reference):
         sampler = ReverseSDESampler(n_steps=7, stochastic=False)
         traj = sampler.sample(lambda z, t: -z, 4, 2, rng=0, return_trajectory=True)
         assert traj.shape == (8, 4, 2)
-        reference = ReverseSDESampler(n_steps=7, stochastic=False, reuse_buffers=False)
+        reference = slow_reference.sde_sampler(n_steps=7, stochastic=False)
         traj_ref = reference.sample(lambda z, t: -z, 4, 2, rng=0, return_trajectory=True)
         np.testing.assert_allclose(traj, traj_ref, atol=1e-12)
 
@@ -261,24 +264,24 @@ class TestFusedEnSFEquivalence:
         ],
         ids=["identity", "subsampled", "nonlinear"],
     )
-    def test_fused_matches_reference_path(self, operator_factory):
+    def test_fused_matches_reference_path(self, operator_factory, slow_reference):
         grid, rng, ensemble, truth = _case(seed=9, members=20, scale=3.0)
         operator = operator_factory(grid.size)
         observation = operator.observe(truth, rng=rng)
         cfg_kwargs = dict(n_sde_steps=20)
-        reference = EnSF(EnSFConfig(fused=False, **cfg_kwargs), rng=13)
+        reference = slow_reference.ensf(cfg_kwargs, rng=13)
         fused = EnSF(EnSFConfig(fused=True, **cfg_kwargs), rng=13)
         a_ref = reference.analyze(ensemble, observation, operator)
         a_new = fused.analyze(ensemble, observation, operator)
         assert reference.rng.bit_generator.state == fused.rng.bit_generator.state
         np.testing.assert_allclose(a_new, a_ref, atol=1e-9, rtol=1e-9)
 
-    def test_fused_analyze_members_parity(self):
+    def test_fused_analyze_members_parity(self, slow_reference):
         grid, rng, ensemble, truth = _case(seed=10, members=10, scale=2.0)
         operator = IdentityObservation(grid.size, 1.0)
         observation = operator.observe(truth, rng=rng)
         cfg_kwargs = dict(n_sde_steps=15)
-        ref = EnSF(EnSFConfig(fused=False, **cfg_kwargs)).analyze_members(
+        ref = slow_reference.ensf(cfg_kwargs).analyze_members(
             ensemble, observation, operator, n_local_members=4, seed=3
         )
         new = EnSF(EnSFConfig(fused=True, **cfg_kwargs)).analyze_members(
