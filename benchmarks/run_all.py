@@ -10,9 +10,10 @@ Usage::
     python benchmarks/run_all.py <pytest args...>
 
 The default run refreshes ``BENCH_kernels.json`` (vectorized analysis
-kernels) and ``BENCH_forecast.json`` (fused pseudo-spectral forecast engine
-plus the 128×128 paper-scale OSSE breakdown) at the repository root (see
-:mod:`repro.utils.timing` for the file format).
+kernels, plus the ``letkf_sharded`` serial-vs-sharded worker sweep at 64×64
+and 128×128) and ``BENCH_forecast.json`` (fused pseudo-spectral forecast
+engine plus the 128×128 paper-scale OSSE breakdown) at the repository root
+(see :mod:`repro.utils.timing` for the file format).
 """
 
 from __future__ import annotations

@@ -27,7 +27,7 @@ def main() -> None:
     operator = IdentityObservation(model.state_size, obs_error_var=1.0)
 
     # 3. Configure the cycling experiment and the EnSF.
-    osse = OSSEConfig(n_cycles=8, steps_per_cycle=24, ensemble_size=10, seed=1)
+    osse = OSSEConfig(n_cycles=8, steps_per_cycle=24, ensemble_size=10, seed=4)
     ensf = EnSF(EnSFConfig(n_sde_steps=60), rng=2)
 
     # 4. Run with and without assimilation.

@@ -3,16 +3,19 @@
 #   1. The test suite must *collect* with scipy blocked — the FFT shim and
 #      everything importing it must defer scipy imports so numpy-only
 #      installs keep working.
-#   2. The tier-1 suite itself must pass; --durations=10 surfaces creeping
+#   2. The parallel-analysis worker-invariance contract must hold through a
+#      real n_workers=2 process pool (EnSF member-seeded executor and the
+#      column-sharded LETKF), so CI always exercises the pool path.
+#   3. The tier-1 suite itself must pass; --durations=10 surfaces creeping
 #      slow tests.
-# Usage: scripts/smoke.sh [extra pytest args for step 2]
+# Usage: scripts/smoke.sh [extra pytest args for step 3]
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== smoke 1/2: collection with scipy blocked (numpy-only install) =="
+echo "== smoke 1/3: collection with scipy blocked (numpy-only install) =="
 python - <<'EOF'
 import sys
 
@@ -42,5 +45,8 @@ if rc != 0:
 print("collection OK without scipy")
 EOF
 
-echo "== smoke 2/2: tier-1 suite with --durations=10 =="
+echo "== smoke 2/3: parallel-analysis worker invariance (n_workers=2 pool) =="
+python -m pytest -x -q tests/unit/test_hpc.py::TestParallelAnalysis
+
+echo "== smoke 3/3: tier-1 suite with --durations=10 =="
 exec python -m pytest -x -q --durations=10 "$@"

@@ -32,7 +32,7 @@ from repro.core.observations import (
 from repro.core.schedules import LinearAlphaSchedule
 from repro.core.score import MonteCarloScoreEstimator
 from repro.core.sde import ReverseSDESampler
-from repro.utils.random import default_rng
+from repro.utils.random import MemberStreams, default_rng
 
 __all__ = ["EnSFConfig", "EnSF"]
 
@@ -340,8 +340,9 @@ class EnSF(EnsembleFilter):
         forecast_ensemble: np.ndarray,
         observation: np.ndarray,
         operator: ObservationOperator,
-        n_local_members: int,
-        seed: int,
+        n_local_members: int | None = None,
+        seed: int | None = None,
+        member_seeds=None,
     ) -> np.ndarray:
         """Draw the analysis members owned by one parallel rank.
 
@@ -350,12 +351,49 @@ class EnSF(EnsembleFilter):
         parallelization are the ensembles").  Each rank holds the full
         forecast ensemble (it is broadcast once per cycle, so the score
         estimator is identical everywhere) and integrates the reverse SDE
-        only for its own ``n_local_members`` particles.  Spread relaxation is
-        a global operation and is applied by the caller after gathering.
+        only for its own particles.  Spread relaxation is a global operation
+        and is applied by the caller after gathering.
+
+        Two seeding modes are supported:
+
+        ``member_seeds``
+            One seed (or :class:`numpy.random.SeedSequence`) *per local
+            member*; all Gaussian draws for member ``i`` come from its own
+            stream (:class:`~repro.utils.random.MemberStreams`), so the
+            gathered analysis is bit-identical for every worker layout.
+            This is what :meth:`EnsembleExecutor.analyze_ensf` uses.
+        ``n_local_members`` + ``seed``
+            Legacy rank-wise mode: one shared stream draws the whole
+            ``(n_local_members, dim)`` batch.  Results then depend on how
+            members are grouped into ranks; kept for the oracle parity
+            tests and for callers that manage their own rank streams.
         """
         forecast_ensemble = np.asarray(forecast_ensemble, dtype=float)
         observation = np.asarray(observation, dtype=float)
-        rank_rng = default_rng(seed)
+        if member_seeds is not None:
+            if n_local_members is not None and n_local_members != len(member_seeds):
+                raise ValueError("n_local_members does not match len(member_seeds)")
+            if self.config.minibatch is not None:
+                # The Monte-Carlo score minibatch is drawn from the filter's
+                # own rng and shared by every member of a chunk, so its draws
+                # depend on how members are grouped into workers — the
+                # worker-invariance contract of the member-seeded mode cannot
+                # hold.  Refuse loudly rather than return layout-dependent
+                # analyses (the paper's configuration uses the full ensemble).
+                raise ValueError(
+                    "member-seeded parallel analysis requires the full-ensemble "
+                    "score (EnSFConfig.minibatch=None); minibatched scores are "
+                    "not worker-layout invariant"
+                )
+            rank_rng = MemberStreams(member_seeds)
+            n_local_members = len(member_seeds)
+        else:
+            if n_local_members is None:
+                raise ValueError("pass either member_seeds or n_local_members")
+            if seed is None:
+                # Reproducibility API: never fall through to fresh OS entropy.
+                raise ValueError("the n_local_members mode requires an explicit seed")
+            rank_rng = default_rng(seed)
         return self._analysis_samples(
             forecast_ensemble, observation, operator, n_local_members, rank_rng
         )

@@ -112,6 +112,26 @@ class EnsembleFilter(ABC):
             Observation operator for the current analysis time.
         """
 
+    def analyze_parallel(
+        self,
+        forecast_ensemble: np.ndarray,
+        observation: np.ndarray,
+        operator: ObservationOperator,
+        executor=None,
+    ) -> np.ndarray:
+        """Analysis update with optional intra-analysis parallelism.
+
+        ``executor`` is an :class:`repro.hpc.ensemble_parallel.EnsembleExecutor`
+        (or ``None``).  Filters whose update decomposes into independent
+        work-units override this to shard the work across the executor's
+        process pool — e.g. the LETKF's local column analyses.  The default
+        implementation ignores the executor and runs :meth:`analyze`
+        in-process, so the OSSE driver can pass its executor unconditionally.
+        Overrides must produce results bit-identical across worker counts
+        and member-wise equivalent to :meth:`analyze`.
+        """
+        return self.analyze(forecast_ensemble, observation, operator)
+
     @property
     def name(self) -> str:
         """Human-readable filter name (used in experiment reports)."""

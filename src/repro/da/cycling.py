@@ -166,7 +166,14 @@ def run_osse(
     initial_ensemble:
         Optional pre-built initial ensemble of shape ``(m, d)``.
     executor:
-        Optional ensemble-parallel executor for the forecast step.
+        Optional :class:`~repro.hpc.ensemble_parallel.EnsembleExecutor`.  The
+        ensemble forecast is member-sharded over its process pool, and the
+        analysis section routes through
+        :meth:`~repro.core.filters.EnsembleFilter.analyze_parallel`, so
+        filters with a parallel decomposition (the LETKF's column-sharded
+        solve stage) use the same pool; filters without one fall back to
+        their serial ``analyze``.  All parallel paths are worker-count
+        invariant, so results never depend on the executor layout.
     label:
         Name recorded in the result (e.g. ``"SQG+LETKF"``).
     store_history:
@@ -225,7 +232,9 @@ def run_osse(
         if filter_ is not None:
             observation = operator.observe(truth, rng=rng_obs)
             with recorder.section("analysis"):
-                ensemble = filter_.analyze(ensemble, observation, operator)
+                ensemble = filter_.analyze_parallel(
+                    ensemble, observation, operator, executor=executor
+                )
 
         stats_a = ensemble_statistics(ensemble)
         analysis_rmse[cycle] = rmse(stats_a.mean, truth)

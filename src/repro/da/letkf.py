@@ -35,6 +35,23 @@ Two implementations of the analysis are provided:
 Both paths produce member-wise identical analyses up to floating-point
 round-off (the equivalence is asserted in ``tests/unit/test_kernels.py``
 and benchmarked in ``benchmarks/test_bench_kernels.py``).
+
+Column-sharded parallel analysis
+--------------------------------
+:meth:`LETKF.analyze_parallel` shards the batched path across an
+:class:`~repro.hpc.ensemble_parallel.EnsembleExecutor` process pool — the
+local equivalent of the paper's per-rank local analyses plus gather
+(§III-A3).  The global ensemble statistics (means, perturbations,
+innovation) are computed once by the parent; the per-column system assembly
+and stacked-``eigh`` solve/weight stage then runs over contiguous column
+blocks of ``config.shard_columns`` columns, each worker receiving only the
+small slice it needs (convolved channels in convolution mode;
+``y_pert``/``innovation`` subsets plus a
+:class:`~repro.da.localization.GeometryBlock` in grouped mode), and the
+block results are scatter-gathered into the analysis array.  Because the
+shard decomposition depends only on the grid — never on the worker count —
+the sharded analysis is bit-identical for every executor layout and
+member-wise equivalent to the serial batched kernel.
 """
 
 from __future__ import annotations
@@ -58,7 +75,113 @@ from repro.da.localization import (
 )
 from repro.utils.grid import Grid2D, periodic_distance_matrix
 
-__all__ = ["LETKFConfig", "LETKF"]
+__all__ = ["LETKFConfig", "LETKF", "solve_local_batch"]
+
+
+def solve_local_batch(
+    a_stack: np.ndarray,
+    c_innov: np.ndarray,
+    local_pert: np.ndarray,
+    local_mean: np.ndarray,
+) -> np.ndarray:
+    """Solve a stack of local ETKF problems.
+
+    This is the LETKF's per-column work-unit (module-level so the
+    column-sharded parallel path can ship it to pool workers by reference).
+    Every batch element is solved independently, so any contiguous
+    re-blocking of the stack yields bit-identical results.
+
+    Parameters
+    ----------
+    a_stack:
+        Local system matrices ``(m-1) I + C Yᵀ``, shape ``(B, m, m)``.
+    c_innov:
+        Projected innovations ``C (y - ȳ)``, shape ``(B, m)``.
+    local_pert:
+        Per-column prior perturbations, shape ``(B, nlev, m)``.
+    local_mean:
+        Per-column prior means, shape ``(B, nlev)``.
+
+    Returns
+    -------
+    Local analysis states, shape ``(B, nlev, m)`` (member axis last).
+    """
+    n_members = a_stack.shape[-1]
+    evals, evecs = np.linalg.eigh(a_stack)
+    np.maximum(evals, 1.0e-12, out=evals)
+
+    # Mean-update weights: w̄ = A⁻¹ C δy = E (Eᵀ C δy / λ).
+    u = np.einsum("bji,bj->bi", evecs, c_innov)
+    u /= evals
+    w_mean = np.matmul(evecs, u[:, :, None])[..., 0]
+
+    # Perturbation transform: Xᵃ = X E √((m-1)/λ) Eᵀ  (symmetric root).
+    v = np.matmul(local_pert, evecs)
+    v *= np.sqrt((n_members - 1) / evals)[:, None, :]
+    analysis = np.matmul(v, np.ascontiguousarray(evecs.transpose(0, 2, 1)))
+    analysis += np.matmul(local_pert, w_mean[:, :, None])
+    analysis += local_mean[:, :, None]
+    return analysis
+
+
+def _assemble_from_conv(conv_block: np.ndarray, n_members: int) -> tuple[np.ndarray, np.ndarray]:
+    """Build ``(a_stack, c_innov)`` from a block of convolved channels.
+
+    ``conv_block`` holds the ``m(m+1)/2`` upper-triangle Gram channels
+    followed by the ``m`` innovation channels, shape
+    ``(n_pair + m, n_block_columns)`` — the per-column output of the global
+    circular convolution (see :meth:`LETKF._convolution_channels`).
+    """
+    iu0, iu1 = np.triu_indices(n_members)
+    n_pair = iu0.size
+    n_block = conv_block.shape[1]
+    a_stack = np.empty((n_block, n_members, n_members))
+    pair_t = np.ascontiguousarray(conv_block[:n_pair].T)
+    a_stack[:, iu0, iu1] = pair_t
+    a_stack[:, iu1, iu0] = pair_t
+    diag = np.arange(n_members)
+    a_stack[:, diag, diag] += n_members - 1
+    c_innov = np.ascontiguousarray(conv_block[n_pair:].T)
+    return a_stack, c_innov
+
+
+def _solve_shard_convolution(args) -> np.ndarray:
+    """Worker entry point: assemble + solve one convolution-mode column shard."""
+    conv_block, local_pert, local_mean = args
+    n_members = local_pert.shape[-1]
+    a_stack, c_innov = _assemble_from_conv(conv_block, n_members)
+    return solve_local_batch(a_stack, c_innov, local_pert, local_mean)
+
+
+def _solve_shard_grouped(args) -> np.ndarray:
+    """Worker entry point: assemble + solve one grouped-mode column shard.
+
+    ``y_sub_t`` / ``innov_sub`` are the block's observation subset
+    (``(p_sub, m)`` and ``(p_sub,)``), gathered by the parent;
+    ``block.groups`` index into them.  Columns without a footprint keep the
+    prior, exactly like the serial grouped path.
+    """
+    block, y_sub_t, innov_sub, local_pert, local_mean, max_batch = args
+    n_members = local_pert.shape[-1]
+    analysis = local_pert + local_mean[:, :, None]  # prior block (member axis last)
+    for group in block.groups:
+        n_group = group.columns.size
+        for start in range(0, n_group, max_batch):
+            sl = slice(start, min(start + max_batch, n_group))
+            idx = group.obs_indices[sl]
+            sqrt_r = group.sqrt_r_inv[sl]
+            cols = group.columns[sl]
+
+            q = y_sub_t[idx]  # (B, p, m)
+            q *= sqrt_r[:, :, None]
+            a_stack = np.matmul(q.transpose(0, 2, 1), q)
+            diag = np.arange(n_members)
+            a_stack[:, diag, diag] += n_members - 1
+            c_innov = np.einsum("bpm,bp->bm", q, sqrt_r * innov_sub[idx])
+            analysis[cols] = solve_local_batch(
+                a_stack, c_innov, local_pert[cols], local_mean[cols]
+            )
+    return analysis
 
 
 @dataclass(frozen=True)
@@ -81,6 +204,12 @@ class LETKFConfig:
     block_columns:
         Upper bound on the number of columns per grouped-gather block; caps
         the peak size of the stacked local-observation tensors.
+    shard_columns:
+        Number of contiguous columns per parallel shard in
+        :meth:`LETKF.analyze_parallel`.  The shard decomposition is a
+        function of the grid only — never of the worker count — which is
+        what makes the sharded analysis bit-identical for any executor
+        layout.
     """
 
     localization: LocalizationConfig = field(default_factory=LocalizationConfig)
@@ -88,6 +217,7 @@ class LETKFConfig:
     prior_inflation: float = 1.0
     use_batched: bool = True
     block_columns: int = 512
+    shard_columns: int = 1024
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rtps_factor <= 1.0:
@@ -96,6 +226,8 @@ class LETKFConfig:
             raise ValueError("prior multiplicative inflation must be >= 1")
         if self.block_columns < 1:
             raise ValueError("block_columns must be positive")
+        if self.shard_columns < 1:
+            raise ValueError("shard_columns must be positive")
 
 
 class LETKF(EnsembleFilter):
@@ -187,6 +319,31 @@ class LETKF(EnsembleFilter):
             raise ValueError("LETKF requires at least two ensemble members")
         return forecast_ensemble
 
+    def _update_statistics(
+        self,
+        forecast_ensemble: np.ndarray,
+        observation: np.ndarray,
+        operator: ObservationOperator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Global ensemble statistics shared by the batched analysis paths.
+
+        Returns ``(prior, x_mean, x_pert, y_pert, innovation)`` with prior
+        multiplicative inflation already applied; both the serial and the
+        column-sharded analysis start from exactly this computation, so the
+        two paths cannot drift apart.
+        """
+        prior = forecast_ensemble
+        if self.config.prior_inflation > 1.0:
+            prior = multiplicative_inflation(prior, self.config.prior_inflation)
+
+        x_mean = prior.mean(axis=0)
+        x_pert = prior - x_mean
+        y_ens = operator.apply(prior)
+        y_mean = y_ens.mean(axis=0)
+        y_pert = y_ens - y_mean
+        innovation = observation - y_mean
+        return prior, x_mean, x_pert, y_pert, innovation
+
     def analyze(
         self,
         forecast_ensemble: np.ndarray,
@@ -198,17 +355,9 @@ class LETKF(EnsembleFilter):
         forecast_ensemble = self._validate(forecast_ensemble)
         observation = np.asarray(observation, dtype=float)
 
-        prior = forecast_ensemble
-        if self.config.prior_inflation > 1.0:
-            prior = multiplicative_inflation(prior, self.config.prior_inflation)
-
-        x_mean = prior.mean(axis=0)
-        x_pert = prior - x_mean
-        y_ens = operator.apply(prior)
-        y_mean = y_ens.mean(axis=0)
-        y_pert = y_ens - y_mean
-        innovation = observation - y_mean
-
+        prior, x_mean, x_pert, y_pert, innovation = self._update_statistics(
+            forecast_ensemble, observation, operator
+        )
         geometry = self.geometry(operator)
         if geometry.mode == "convolution":
             analysis = self._analyze_convolution(
@@ -223,48 +372,80 @@ class LETKF(EnsembleFilter):
             analysis = rtps_inflation(analysis, forecast_ensemble, self.config.rtps_factor)
         return analysis
 
-    # ------------------------------------------------------------------ #
-    def _solve_local_batch(
+    def analyze_parallel(
         self,
-        a_stack: np.ndarray,
-        c_innov: np.ndarray,
-        local_pert: np.ndarray,
-        local_mean: np.ndarray,
+        forecast_ensemble: np.ndarray,
+        observation: np.ndarray,
+        operator: ObservationOperator,
+        executor=None,
     ) -> np.ndarray:
-        """Solve a stack of local ETKF problems.
+        """Column-sharded batched analysis over an executor's process pool.
 
-        Parameters
-        ----------
-        a_stack:
-            Local system matrices ``(m-1) I + C Yᵀ``, shape ``(B, m, m)``.
-        c_innov:
-            Projected innovations ``C (y - ȳ)``, shape ``(B, m)``.
-        local_pert:
-            Per-column prior perturbations, shape ``(B, nlev, m)``.
-        local_mean:
-            Per-column prior means, shape ``(B, nlev)``.
-
-        Returns
-        -------
-        Local analysis states, shape ``(B, nlev, m)`` (member axis last).
+        The parent computes the global ensemble statistics once, cuts the
+        grid into contiguous shards of ``config.shard_columns`` columns, and
+        maps the per-column assembly + stacked-``eigh`` solve/weight stage
+        over the pool via :meth:`EnsembleExecutor.map_blocks`; each worker
+        receives only the small slice it needs (see the module docstring)
+        and the results are scatter-gathered into the analysis array before
+        the global RTPS inflation.  The shard decomposition never depends on
+        the worker count, so results are bit-identical for any executor
+        layout; with ``executor=None`` (or the reference configuration) the
+        serial :meth:`analyze` runs instead.
         """
-        n_members = a_stack.shape[-1]
-        evals, evecs = np.linalg.eigh(a_stack)
-        np.maximum(evals, 1.0e-12, out=evals)
+        if executor is None or not self.config.use_batched:
+            return self.analyze(forecast_ensemble, observation, operator)
+        forecast_ensemble = self._validate(forecast_ensemble)
+        observation = np.asarray(observation, dtype=float)
 
-        # Mean-update weights: w̄ = A⁻¹ C δy = E (Eᵀ C δy / λ).
-        u = np.einsum("bji,bj->bi", evecs, c_innov)
-        u /= evals
-        w_mean = np.matmul(evecs, u[:, :, None])[..., 0]
+        prior, x_mean, x_pert, y_pert, innovation = self._update_statistics(
+            forecast_ensemble, observation, operator
+        )
+        geometry = self.geometry(operator)
+        n_members = prior.shape[0]
+        n_columns, n_levels = geometry.n_columns, self.grid.nlev
+        shard = self.config.shard_columns
+        bounds = [
+            (start, min(start + shard, n_columns)) for start in range(0, n_columns, shard)
+        ]
 
-        # Perturbation transform: Xᵃ = X E √((m-1)/λ) Eᵀ  (symmetric root).
-        v = np.matmul(local_pert, evecs)
-        v *= np.sqrt((n_members - 1) / evals)[:, None, :]
-        analysis = np.matmul(v, np.ascontiguousarray(evecs.transpose(0, 2, 1)))
-        analysis += np.matmul(local_pert, w_mean[:, :, None])
-        analysis += local_mean[:, :, None]
+        local_pert = np.ascontiguousarray(
+            x_pert.reshape(n_members, n_levels, n_columns).transpose(2, 1, 0)
+        )
+        local_mean = np.ascontiguousarray(x_mean.reshape(n_levels, n_columns).T)
+
+        if geometry.mode == "convolution":
+            conv = self._convolution_channels(y_pert, innovation, geometry, n_members)
+            jobs = [
+                (np.ascontiguousarray(conv[:, a:b]), local_pert[a:b], local_mean[a:b])
+                for a, b in bounds
+            ]
+            results = executor.map_blocks(_solve_shard_convolution, jobs)
+        else:
+            y_t = np.ascontiguousarray(y_pert.T)
+            jobs = []
+            for a, b in bounds:
+                block = geometry.column_block(a, b)
+                jobs.append(
+                    (
+                        block,
+                        np.ascontiguousarray(y_t[block.obs_subset]),
+                        innovation[block.obs_subset],
+                        local_pert[a:b],
+                        local_mean[a:b],
+                        self.config.block_columns,
+                    )
+                )
+            results = executor.map_blocks(_solve_shard_grouped, jobs)
+
+        analysis_t = np.concatenate(results, axis=0)  # (n_columns, nlev, m)
+        analysis = np.ascontiguousarray(analysis_t.transpose(2, 1, 0)).reshape(
+            n_members, n_levels * n_columns
+        )
+        if self.config.rtps_factor > 0.0:
+            analysis = rtps_inflation(analysis, forecast_ensemble, self.config.rtps_factor)
         return analysis
 
+    # ------------------------------------------------------------------ #
     def _analyze_convolution(
         self,
         prior: np.ndarray,
@@ -283,8 +464,37 @@ class LETKF(EnsembleFilter):
         ``m(m+1)/2`` symmetric channels (plus ``m`` innovation channels)
         replaces every per-column distance/weight/gather operation.
         """
-        grid = self.grid
         n_members = prior.shape[0]
+        n_columns, n_levels = geometry.n_columns, self.grid.nlev
+
+        conv = self._convolution_channels(y_pert, innovation, geometry, n_members)
+        a_stack, c_innov = _assemble_from_conv(conv, n_members)
+
+        local_pert = np.ascontiguousarray(
+            x_pert.reshape(n_members, n_levels, n_columns).transpose(2, 1, 0)
+        )
+        local_mean = x_mean.reshape(n_levels, n_columns).T
+        analysis_t = solve_local_batch(a_stack, c_innov, local_pert, local_mean)
+        return np.ascontiguousarray(analysis_t.transpose(2, 1, 0)).reshape(
+            n_members, n_levels * n_columns
+        )
+
+    def _convolution_channels(
+        self,
+        y_pert: np.ndarray,
+        innovation: np.ndarray,
+        geometry: LocalAnalysisGeometry,
+        n_members: int,
+    ) -> np.ndarray:
+        """Convolved Gram/innovation channels for *all* columns.
+
+        Returns the ``(m(m+1)/2 + m, n_columns)`` array of per-column local
+        system entries (upper-triangle Gram channels then innovation
+        channels).  The circular convolution is inherently global, so the
+        parallel path runs it once in the parent and ships each shard only
+        its column slice.
+        """
+        grid = self.grid
         n_columns, n_levels = geometry.n_columns, grid.nlev
         ny, nx = grid.ny, grid.nx
         obs_columns = geometry.obs_columns
@@ -316,24 +526,7 @@ class LETKF(EnsembleFilter):
 
         spectra = np.fft.rfft2(channels.reshape(-1, ny, nx), axes=(-2, -1))
         spectra *= geometry.kernel_rfft2
-        conv = np.fft.irfft2(spectra, s=(ny, nx), axes=(-2, -1)).reshape(-1, n_columns)
-
-        a_stack = np.empty((n_columns, n_members, n_members))
-        pair_t = np.ascontiguousarray(conv[:n_pair].T)
-        a_stack[:, iu0, iu1] = pair_t
-        a_stack[:, iu1, iu0] = pair_t
-        diag = np.arange(n_members)
-        a_stack[:, diag, diag] += n_members - 1
-        c_innov = np.ascontiguousarray(conv[n_pair:].T)
-
-        local_pert = np.ascontiguousarray(
-            x_pert.reshape(n_members, n_levels, n_columns).transpose(2, 1, 0)
-        )
-        local_mean = x_mean.reshape(n_levels, n_columns).T
-        analysis_t = self._solve_local_batch(a_stack, c_innov, local_pert, local_mean)
-        return np.ascontiguousarray(analysis_t.transpose(2, 1, 0)).reshape(
-            n_members, n_levels * n_columns
-        )
+        return np.fft.irfft2(spectra, s=(ny, nx), axes=(-2, -1)).reshape(-1, n_columns)
 
     def _analyze_grouped(
         self,
@@ -372,7 +565,7 @@ class LETKF(EnsembleFilter):
                 state_idx = cols[:, None] + lev_offsets[None, :]  # (B, nlev)
                 local_pert = x_t[state_idx]  # (B, nlev, m), member axis last
                 local_mean = x_mean[state_idx]
-                analysis_t[state_idx] = self._solve_local_batch(
+                analysis_t[state_idx] = solve_local_batch(
                     a_stack, c_innov, local_pert, local_mean
                 )
         return analysis

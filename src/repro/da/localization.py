@@ -22,6 +22,7 @@ __all__ = [
     "LocalizationConfig",
     "column_distances",
     "FootprintGroup",
+    "GeometryBlock",
     "LocalAnalysisGeometry",
     "geometry_cache_key",
 ]
@@ -131,6 +132,44 @@ class FootprintGroup:
     @property
     def n_local_obs(self) -> int:
         return int(self.obs_indices.shape[1])
+
+
+@dataclass(frozen=True)
+class GeometryBlock:
+    """Slice of a :class:`LocalAnalysisGeometry` over contiguous columns.
+
+    This is the shippable work-unit of the column-sharded parallel LETKF
+    (see :meth:`LocalAnalysisGeometry.column_block`): it carries only what
+    one worker needs to assemble and solve the local systems of columns
+    ``[start, stop)``, so blocks pickle cheaply to pool processes.
+
+    Attributes
+    ----------
+    start, stop:
+        Half-open global column range covered by this block.
+    mode:
+        ``"convolution"`` or ``"grouped"`` (inherited from the geometry).
+    obs_subset:
+        Grouped mode: sorted indices into the *full* observation vector of
+        the observations appearing in any footprint of this block (what the
+        parent gathers from ``y_pert``/``innovation`` for the worker);
+        ``None`` in convolution mode, where assembly is a global FFT
+        performed by the parent.
+    groups:
+        Grouped mode: :class:`FootprintGroup` slices with ``columns``
+        shifted block-local and ``obs_indices`` remapped into
+        ``obs_subset``; empty in convolution mode.
+    """
+
+    start: int
+    stop: int
+    mode: str
+    obs_subset: np.ndarray | None
+    groups: tuple[FootprintGroup, ...]
+
+    @property
+    def n_block_columns(self) -> int:
+        return int(self.stop - self.start)
 
 
 class LocalAnalysisGeometry:
@@ -252,6 +291,54 @@ class LocalAnalysisGeometry:
         self.empty_columns = (
             np.concatenate(empty) if empty else np.empty(0, dtype=np.intp)
         )
+
+    # ------------------------------------------------------------------ #
+    def column_block(self, start: int, stop: int) -> GeometryBlock:
+        """First-class slice of this geometry over columns ``[start, stop)``.
+
+        The returned :class:`GeometryBlock` is self-contained: in grouped
+        mode the footprint rows of the block's columns are extracted, their
+        observation indices remapped onto the block's own (sorted, unique)
+        ``obs_subset``, and the column indices shifted block-local, so a
+        worker needs only ``y_pert[:, obs_subset]`` and
+        ``innovation[obs_subset]`` alongside the block.  In convolution mode
+        the per-column systems come from a *global* circular convolution, so
+        the block carries no geometry payload (the parent assembles and
+        ships the convolved channels instead).
+        """
+        if not 0 <= start < stop <= self.n_columns:
+            raise ValueError(
+                f"column block [{start}, {stop}) outside [0, {self.n_columns})"
+            )
+        if self.mode == "convolution":
+            return GeometryBlock(int(start), int(stop), "convolution", None, ())
+
+        parts = []
+        for group in self.groups:
+            mask = (group.columns >= start) & (group.columns < stop)
+            if not np.any(mask):
+                continue
+            parts.append(
+                (
+                    group.columns[mask] - start,
+                    group.obs_indices[mask],
+                    group.sqrt_r_inv[mask],
+                )
+            )
+        if parts:
+            obs_subset = np.unique(np.concatenate([idx.ravel() for _, idx, _ in parts]))
+        else:
+            obs_subset = np.empty(0, dtype=np.intp)
+        groups = tuple(
+            FootprintGroup(
+                columns=cols,
+                obs_indices=np.searchsorted(obs_subset, idx).astype(np.intp),
+                sqrt_r_inv=w,
+            )
+            for cols, idx, w in parts
+        )
+        return GeometryBlock(int(start), int(stop), "grouped", obs_subset, groups)
+
 
 def geometry_cache_key(
     grid: Grid2D,

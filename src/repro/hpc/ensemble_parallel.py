@@ -1,12 +1,22 @@
-"""Ensemble-parallel execution of forecasts and EnSF analyses.
+"""Ensemble-parallel execution of forecasts and analyses.
 
 The paper parallelises the EnSF over the ensemble dimension because it
-"incurs minimal communication overhead" (§III-A3).  This module provides the
-same decomposition on a workstation: ensemble members are split into
-contiguous slices, each slice is processed by a worker process (or serially
-when ``n_workers == 1``), and the results are concatenated — the local
+"incurs minimal communication overhead" (§III-A3) and the LETKF over its
+independent local column analyses.  This module provides both decompositions
+on a workstation: work-units (member slices for forecasts/EnSF, column
+blocks for the LETKF solve stage via :meth:`EnsembleExecutor.map_blocks`)
+are processed by a persistent pool of worker processes (or serially when
+``n_workers == 1``) and the results are gathered in order — the local
 equivalent of the per-rank work plus final MPI gather of the paper's
 implementation.
+
+Reproducibility contract: every parallel path must be **worker-count
+invariant** — the gathered result is bit-identical for any ``n_workers``
+(including the serial in-process fallback).  For the EnSF this is achieved
+by spawning one seed per *member* from a single root
+:class:`numpy.random.SeedSequence` and drawing member-wise streams
+(:class:`~repro.utils.random.MemberStreams`); for the LETKF by decomposing
+the columns into fixed-size shards that do not depend on the worker count.
 """
 
 from __future__ import annotations
@@ -14,11 +24,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 
 import numpy as np
-
-from repro.utils.random import default_rng
 
 __all__ = ["ensemble_slices", "EnsembleExecutor"]
 
@@ -52,8 +59,10 @@ def _forecast_chunk(args):
 
 def _ensf_chunk(args):
     """Worker entry point: draw a rank's analysis members with EnSF."""
-    filter_, forecast_ensemble, observation, operator, n_local, seed = args
-    return filter_.analyze_members(forecast_ensemble, observation, operator, n_local, seed)
+    filter_, forecast_ensemble, observation, operator, member_seeds = args
+    return filter_.analyze_members(
+        forecast_ensemble, observation, operator, member_seeds=member_seeds
+    )
 
 
 class EnsembleExecutor:
@@ -140,6 +149,25 @@ class EnsembleExecutor:
         except Exception:
             pass  # interpreter tear-down: the pool reaps itself
 
+    def map_blocks(self, fn, jobs: list) -> list:
+        """Map independent, picklable work-units over the pool, in order.
+
+        This is the generic sharding primitive behind the parallel analysis
+        paths: ``fn`` must be a module-level function and each element of
+        ``jobs`` a picklable work-unit (e.g. one contiguous LETKF column
+        block with its geometry slice).  Results are returned in job order.
+        The caller owns the decomposition; to guarantee worker-count
+        invariance the job list must not depend on ``n_workers`` (the pool
+        only changes *where* a job runs, never what it computes).  With one
+        job or one worker the jobs run serially in-process.
+        """
+        if not jobs:
+            return []
+        workers = min(self.n_workers, len(jobs))
+        if workers == 1:
+            return [fn(job) for job in jobs]
+        return self._run_jobs(fn, jobs, workers)
+
     def map_states(self, model, ensemble: np.ndarray, n_steps: int = 1) -> np.ndarray:
         """Propagate an ``(m, d)`` ensemble through ``model`` member-parallel."""
         ensemble = np.asarray(ensemble, dtype=float)
@@ -159,7 +187,7 @@ class EnsembleExecutor:
         forecast_ensemble: np.ndarray,
         observation: np.ndarray,
         operator,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
     ) -> np.ndarray:
         """Member-parallel EnSF analysis (each worker integrates its members).
 
@@ -167,16 +195,30 @@ class EnsembleExecutor:
         the paper's implementation) and integrates the reverse SDE only for
         its slice of analysis members; the slices are concatenated and the
         caller applies global post-processing (spread relaxation).
+
+        Seeding is member-wise: one child :class:`numpy.random.SeedSequence`
+        per ensemble member is spawned from the root ``seed``, and each
+        worker's :meth:`EnSF.analyze_members` call draws every member from
+        its own stream.  The gathered analysis is therefore bit-identical
+        for any ``n_workers`` / ``min_members_per_worker`` layout, including
+        the serial fallback.  (Pre-fix behaviour drew one seed per *slice*,
+        so the analysis changed with the worker count.)
         """
         forecast_ensemble = np.asarray(forecast_ensemble, dtype=float)
         n_members = forecast_ensemble.shape[0]
+        if isinstance(seed, np.random.SeedSequence):
+            # Spawn from a private copy: SeedSequence.spawn() advances the
+            # parent's child counter, so spawning from the caller's object
+            # would make a second call with the same root non-reproducible.
+            root = np.random.SeedSequence(entropy=seed.entropy, spawn_key=seed.spawn_key)
+        else:
+            root = np.random.SeedSequence(int(seed))
+        member_seeds = root.spawn(n_members)
         workers = self._effective_workers(n_members)
         slices = ensemble_slices(n_members, workers)
-        rng = default_rng(seed)
-        seeds = [int(s) for s in rng.integers(0, 2**31 - 1, size=len(slices))]
         jobs = [
-            (filter_, forecast_ensemble, observation, operator, s.stop - s.start, seeds[i])
-            for i, s in enumerate(slices)
+            (filter_, forecast_ensemble, observation, operator, member_seeds[s.start : s.stop])
+            for s in slices
         ]
         if workers == 1:
             results = [_ensf_chunk(job) for job in jobs]

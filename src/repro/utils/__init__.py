@@ -1,6 +1,12 @@
 """Shared utilities: RNG handling, grid geometry, spectra, FFT backends and timing."""
 
-from repro.utils.random import SeedSequenceFactory, default_rng, split_rng
+from repro.utils.random import (
+    MemberStreams,
+    SeedSequenceFactory,
+    default_rng,
+    sample_from_catalogue,
+    split_rng,
+)
 from repro.utils.fft import (
     FFTBackend,
     available_backends,
@@ -23,7 +29,9 @@ from repro.utils.timing import Timer, Stopwatch, best_of
 
 __all__ = [
     "SeedSequenceFactory",
+    "MemberStreams",
     "default_rng",
+    "sample_from_catalogue",
     "split_rng",
     "FFTBackend",
     "available_backends",

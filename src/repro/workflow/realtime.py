@@ -162,8 +162,16 @@ class RealTimeDAWorkflow:
             if self.executor is None:
                 analysis = self.ensf.analyze(forecast, observation, self.operator)
             else:
+                # Per-cycle seed derived from the workflow's root seed via the
+                # named "ensf-parallel" stream: workflows built with different
+                # seeds draw different analysis noise (seed=cycle alone made
+                # them collide), and reruns of the same workflow reproduce.
                 analysis = self.executor.analyze_ensf(
-                    self.ensf, forecast, observation, self.operator, seed=cycle
+                    self.ensf,
+                    forecast,
+                    observation,
+                    self.operator,
+                    seed=self.seeds.seed_for("ensf-parallel", cycle),
                 )
                 analysis = relax_spread(
                     analysis, forecast, factor=self.ensf.config.spread_relaxation

@@ -108,3 +108,56 @@ class TestRealTimeWorkflow:
         result = workflow.run(testbed.truth0, ensemble, n_cycles=2, steps_per_cycle=config.steps_per_cycle)
         assert result["timings"].online_training == 0.0
         assert np.isfinite(result["final_analysis_rmse"])
+
+    def test_executor_workflow_seeds_derive_from_root(self):
+        """Regression: the executor path used ``seed=cycle`` for the EnSF
+        analysis, so workflows built with different root seeds drew
+        *identical* analysis noise.  The per-cycle seed must derive from the
+        workflow's own root via the named "ensf-parallel" stream."""
+        config = ExperimentConfig.smoke_test()
+        testbed = build_sqg_testbed(config)
+        surrogate = train_offline_surrogate(testbed)
+
+        class RecordingExecutor(EnsembleExecutor):
+            def __init__(self):
+                super().__init__(n_workers=1)
+                self.seen_seeds = []
+
+            def analyze_ensf(self, filter_, forecast, observation, operator, seed=0):
+                self.seen_seeds.append(seed)
+                return super().analyze_ensf(
+                    filter_, forecast, observation, operator, seed=seed
+                )
+
+        def run_with_seed(seed):
+            executor = RecordingExecutor()
+            workflow = RealTimeDAWorkflow(
+                surrogate=surrogate,
+                truth_model=testbed.model,
+                operator=testbed.operator,
+                ensf_config=EnSFConfig(n_sde_steps=10),
+                training_config=TrainingConfig(online_iterations=0),
+                executor=executor,
+                seed=seed,
+            )
+            rng = np.random.default_rng(10)
+            ensemble = testbed.truth0[None, :] + rng.standard_normal(
+                (6, testbed.model.state_size)
+            )
+            workflow.run(
+                testbed.truth0, ensemble, n_cycles=2, steps_per_cycle=config.steps_per_cycle
+            )
+            return executor.seen_seeds
+
+        seeds_a, seeds_b = run_with_seed(1), run_with_seed(2)
+        for seeds in (seeds_a, seeds_b):
+            assert len(seeds) == 2
+            assert all(isinstance(s, np.random.SeedSequence) for s in seeds)
+            # per-cycle sub-streams of one named stream
+            assert seeds[0].spawn_key != seeds[1].spawn_key
+        for cycle in range(2):
+            # different workflow roots => different executor seeds (the old
+            # seed=cycle collided here), same root => reproducible
+            assert seeds_a[cycle].entropy != seeds_b[cycle].entropy
+        assert [s.entropy for s in run_with_seed(1)] == [s.entropy for s in seeds_a]
+        assert [s.spawn_key for s in run_with_seed(1)] == [s.spawn_key for s in seeds_a]

@@ -218,7 +218,11 @@ class TestCycling:
 
     def test_enkf_beats_free_run(self):
         model, truth0, op, cfg = self._setup()
-        filt = StochasticEnKF(EnKFConfig(prior_inflation=1.05), rng=1)
+        # RTPS keeps the unlocalized 20-member EnKF from diverging on the
+        # model-error-perturbed truth; without it the comparison only passed
+        # for lucky noise streams (it flipped when the sha256 seed-stream
+        # derivation replaced the collision-prone byte-sum hash).
+        filt = StochasticEnKF(EnKFConfig(prior_inflation=1.05, rtps_factor=0.5), rng=1)
         result = run_osse(model, model, filt, op, truth0, cfg, label="EnKF")
         free = free_run(model, model, truth0, cfg, label="free")
         assert result.mean_analysis_rmse < free.mean_analysis_rmse

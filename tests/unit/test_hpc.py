@@ -14,9 +14,15 @@ from repro.hpc.scaling import strong_scaling_study, weak_scaling_ensf
 from repro.hpc.topology import FrontierTopology, GPUSpec, NodeSpec
 from repro.hpc.trainer_sim import DistributedTrainingSimulator, TrainingRunConfig
 from repro.hpc.zero import ZeROParallel
+from repro.core.ensf import EnSF, EnSFConfig
+from repro.core.observations import IdentityObservation
+from repro.da.cycling import OSSEConfig, run_osse
+from repro.da.letkf import LETKF, LETKFConfig
+from repro.da.localization import LocalizationConfig
 from repro.models.lorenz96 import Lorenz96
 from repro.surrogate.presets import TABLE_II_PRESETS, laptop_preset
 from repro.surrogate.vit import ViTConfig
+from repro.utils.grid import Grid2D
 
 MB = 2.0**20
 
@@ -446,6 +452,20 @@ class TestScalingHarness:
             assert executor._pool is pool  # same pool, no per-call respawn
         assert executor._pool is None  # context exit released the workers
 
+    def test_map_blocks_preserves_order(self):
+        jobs = [np.full(3, i, dtype=float) for i in range(7)]
+        with EnsembleExecutor(n_workers=2) as executor:
+            results = executor.map_blocks(np.negative, jobs)
+        for i, out in enumerate(results):
+            assert np.array_equal(out, -jobs[i])
+        assert EnsembleExecutor(n_workers=4).map_blocks(np.negative, []) == []
+
+    def test_map_blocks_single_job_runs_in_process(self):
+        executor = EnsembleExecutor(n_workers=4)
+        results = executor.map_blocks(np.negative, [np.ones(2)])
+        assert executor._pool is None  # one job => serial fallback, no pool
+        assert np.array_equal(results[0], -np.ones(2))
+
     def test_executor_drops_broken_pool(self):
         from concurrent.futures.process import BrokenProcessPool
 
@@ -464,3 +484,138 @@ class TestScalingHarness:
             executor._run_jobs(lambda job: job, [1, 2], workers=2)
         # the dead pool must not poison the next call
         assert executor._pool is None
+
+
+class TestParallelAnalysis:
+    """Worker-invariance contracts of the parallel analysis paths."""
+
+    def _ensf_case(self, members=8, shape=(8, 8)):
+        grid = Grid2D(*shape)
+        rng = np.random.default_rng(0)
+        ensemble = rng.standard_normal((members, grid.size)) * 2.0
+        truth = rng.standard_normal(grid.size) * 2.0
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        filt = EnSF(EnSFConfig(n_sde_steps=6), rng=0)
+        return filt, ensemble, observation, operator
+
+    def test_ensf_executor_worker_count_invariant(self):
+        """n_workers ∈ {1, 2, 4} must produce bit-identical analyses."""
+        filt, ensemble, observation, operator = self._ensf_case()
+        results = []
+        for n_workers in (1, 2, 4):
+            with EnsembleExecutor(n_workers=n_workers, min_members_per_worker=1) as ex:
+                results.append(ex.analyze_ensf(filt, ensemble, observation, operator, seed=9))
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+    def test_ensf_executor_slice_layout_invariant(self):
+        """min_members_per_worker only regroups members; draws must not move."""
+        filt, ensemble, observation, operator = self._ensf_case()
+        with EnsembleExecutor(n_workers=2, min_members_per_worker=1) as fine:
+            a = fine.analyze_ensf(filt, ensemble, observation, operator, seed=4)
+        with EnsembleExecutor(n_workers=2, min_members_per_worker=100) as coarse:
+            b = coarse.analyze_ensf(filt, ensemble, observation, operator, seed=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ensf_executor_seed_semantics(self):
+        filt, ensemble, observation, operator = self._ensf_case()
+        executor = EnsembleExecutor(n_workers=1)
+        base = executor.analyze_ensf(filt, ensemble, observation, operator, seed=1)
+        again = executor.analyze_ensf(filt, ensemble, observation, operator, seed=1)
+        other = executor.analyze_ensf(filt, ensemble, observation, operator, seed=2)
+        np.testing.assert_array_equal(base, again)
+        assert not np.array_equal(base, other)
+        # SeedSequence roots (what the realtime workflow derives per cycle
+        # from its named "ensf-parallel" stream) are accepted directly, and
+        # the caller's object is never mutated: reusing the same root must
+        # reproduce (spawning from it directly would advance its child
+        # counter and silently change the second call).
+        seq = np.random.SeedSequence(1)
+        from_seq = executor.analyze_ensf(filt, ensemble, observation, operator, seed=seq)
+        np.testing.assert_array_equal(base, from_seq)
+        reused = executor.analyze_ensf(filt, ensemble, observation, operator, seed=seq)
+        np.testing.assert_array_equal(from_seq, reused)
+        assert seq.n_children_spawned == 0
+
+    def test_analyze_members_member_seeds_concat_invariant(self):
+        """Member-wise streams: any split of the seed list concatenates to
+        the full-batch draw (the property the executor relies on)."""
+        filt, ensemble, observation, operator = self._ensf_case(members=6)
+        seeds = np.random.SeedSequence(3).spawn(6)
+        full = filt.analyze_members(ensemble, observation, operator, member_seeds=seeds)
+        head = filt.analyze_members(ensemble, observation, operator, member_seeds=seeds[:2])
+        tail = filt.analyze_members(ensemble, observation, operator, member_seeds=seeds[2:])
+        np.testing.assert_array_equal(full, np.concatenate([head, tail], axis=0))
+        with pytest.raises(ValueError):
+            filt.analyze_members(ensemble, observation, operator)
+        with pytest.raises(ValueError):
+            filt.analyze_members(
+                ensemble, observation, operator, n_local_members=3, member_seeds=seeds
+            )
+        with pytest.raises(ValueError):
+            # legacy mode must never fall through to fresh OS entropy
+            filt.analyze_members(ensemble, observation, operator, n_local_members=3)
+
+    def test_analyze_members_rejects_minibatch_with_member_seeds(self):
+        """Minibatched score draws are shared per worker chunk, so they can
+        never be worker-layout invariant; the member-seeded mode refuses."""
+        _, ensemble, observation, operator = self._ensf_case(members=6)
+        filt = EnSF(EnSFConfig(n_sde_steps=6, minibatch=3), rng=0)
+        seeds = np.random.SeedSequence(0).spawn(6)
+        with pytest.raises(ValueError, match="minibatch"):
+            filt.analyze_members(ensemble, observation, operator, member_seeds=seeds)
+        with pytest.raises(ValueError, match="minibatch"):
+            EnsembleExecutor(n_workers=1).analyze_ensf(
+                filt, ensemble, observation, operator, seed=0
+            )
+
+    def _letkf_case(self, shape=(12, 12), members=10):
+        grid = Grid2D(*shape)
+        rng = np.random.default_rng(1)
+        ensemble = rng.standard_normal((members, grid.size))
+        truth = rng.standard_normal(grid.size)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        config = LETKFConfig(
+            localization=LocalizationConfig(cutoff=4.0e6), shard_columns=48
+        )
+        return LETKF(grid, config), ensemble, observation, operator
+
+    def test_letkf_sharded_worker_count_invariant(self):
+        letkf, ensemble, observation, operator = self._letkf_case()
+        serial = letkf.analyze(ensemble, observation, operator)
+        results = []
+        for n_workers in (1, 2):
+            with EnsembleExecutor(n_workers=n_workers) as ex:
+                results.append(
+                    letkf.analyze_parallel(ensemble, observation, operator, executor=ex)
+                )
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_allclose(results[0], serial, atol=1e-11, rtol=1e-11)
+
+    def test_run_osse_analysis_executor_matches_serial(self):
+        """The executor plumbed through the OSSE analysis section must not
+        change the cycling results (worker-invariance end to end)."""
+        grid = Grid2D(8, 8)
+        model = Lorenz96(dim=grid.size)
+        truth0 = np.random.default_rng(2).standard_normal(grid.size)
+        operator = IdentityObservation(grid.size, 1.0)
+        config = OSSEConfig(n_cycles=2, steps_per_cycle=1, ensemble_size=6, seed=0)
+        letkf_cfg = LETKFConfig(
+            localization=LocalizationConfig(cutoff=4.0e6), shard_columns=32
+        )
+        serial = run_osse(
+            model, model, LETKF(grid, letkf_cfg), operator, truth0, config
+        )
+        with EnsembleExecutor(n_workers=2, min_members_per_worker=1) as ex:
+            parallel = run_osse(
+                model, model, LETKF(grid, letkf_cfg), operator, truth0, config,
+                executor=ex,
+            )
+        np.testing.assert_allclose(
+            parallel.analysis_mean_final, serial.analysis_mean_final, atol=1e-11
+        )
+        np.testing.assert_allclose(
+            parallel.analysis_rmse, serial.analysis_rmse, atol=1e-11
+        )

@@ -136,6 +136,116 @@ class TestBatchedLETKFEquivalence:
         np.testing.assert_allclose(state_b, state_r, atol=1e-10, rtol=1e-10)
 
 
+class TestShardedLETKF:
+    """Column-sharded parallel analysis vs the serial batched kernel.
+
+    The shard decomposition is fixed by ``shard_columns`` (never by the
+    worker count), and every local problem is solved independently, so the
+    sharded path must reproduce the serial batched kernel member-wise; the
+    cross-worker-count bit-identity contract is exercised with real process
+    pools in ``tests/unit/test_hpc.py``.  ``n_workers=1`` executors run the
+    same shard jobs serially in-process, which keeps these cases cheap.
+    """
+
+    def _executor(self):
+        from repro.hpc.ensemble_parallel import EnsembleExecutor
+
+        return EnsembleExecutor(n_workers=1)
+
+    @pytest.mark.parametrize("shard_columns", [1, 37, 64, 1000])
+    def test_sharded_matches_serial_convolution(self, shard_columns):
+        grid, rng, ensemble, truth = _case(seed=11)
+        operator = IdentityObservation(grid.size, 1.2)
+        observation = operator.observe(truth, rng=rng)
+        cfg = LETKFConfig(
+            localization=LocalizationConfig(cutoff=4.0e6), shard_columns=shard_columns
+        )
+        letkf = LETKF(grid, cfg)
+        assert letkf.geometry(operator).mode == "convolution"
+        serial = letkf.analyze(ensemble, observation, operator)
+        sharded = letkf.analyze_parallel(
+            ensemble, observation, operator, executor=self._executor()
+        )
+        np.testing.assert_allclose(sharded, serial, atol=1e-11, rtol=1e-11)
+
+    @pytest.mark.parametrize("shard_columns", [50, 128])
+    def test_sharded_matches_serial_grouped(self, shard_columns):
+        grid, rng, ensemble, truth = _case(seed=12)
+        var = 0.5 + rng.random(grid.size)
+        operator = IdentityObservation(grid.size, var)
+        observation = operator.observe(truth, rng=rng)
+        cfg = LETKFConfig(
+            localization=LocalizationConfig(cutoff=4.0e6), shard_columns=shard_columns
+        )
+        letkf = LETKF(grid, cfg)
+        assert letkf.geometry(operator).mode == "grouped"
+        serial = letkf.analyze(ensemble, observation, operator)
+        sharded = letkf.analyze_parallel(
+            ensemble, observation, operator, executor=self._executor()
+        )
+        np.testing.assert_allclose(sharded, serial, atol=1e-11, rtol=1e-11)
+
+    def test_sharded_grouped_with_empty_footprints(self):
+        grid, rng, ensemble, truth = _case(seed=13)
+        operator = SubsampledObservation.every_nth(grid.size, 7, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        cfg = LETKFConfig(
+            localization=LocalizationConfig(cutoff=grid.dx * 0.55, min_weight=1e-4),
+            rtps_factor=0.0,
+            shard_columns=60,
+        )
+        letkf = LETKF(grid, cfg)
+        assert letkf.geometry(operator).empty_columns.size > 0
+        serial = letkf.analyze(ensemble, observation, operator)
+        sharded = letkf.analyze_parallel(
+            ensemble, observation, operator, executor=self._executor()
+        )
+        np.testing.assert_allclose(sharded, serial, atol=1e-11, rtol=1e-11)
+
+    def test_sharded_without_executor_or_batching_falls_back(self):
+        grid, rng, ensemble, truth = _case(seed=14)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        letkf = LETKF(grid, LETKFConfig())
+        np.testing.assert_array_equal(
+            letkf.analyze_parallel(ensemble, observation, operator, executor=None),
+            letkf.analyze(ensemble, observation, operator),
+        )
+
+    def test_geometry_column_block_roundtrip(self):
+        grid = Grid2D(10, 8)
+        obs_columns = np.arange(grid.ny * grid.nx)[::3]
+        geometry = LocalAnalysisGeometry(
+            grid,
+            obs_columns,
+            LocalizationConfig(cutoff=2.0e6, min_weight=1e-4),
+            np.ones(obs_columns.size),
+        )
+        full_footprints = {
+            int(col): group.obs_indices[i]
+            for group in geometry.groups
+            for i, col in enumerate(group.columns)
+        }
+        covered = []
+        for start in range(0, geometry.n_columns, 25):
+            block = geometry.column_block(start, min(start + 25, geometry.n_columns))
+            assert block.mode == "grouped"
+            for group in block.groups:
+                assert group.columns.min() >= 0
+                assert group.columns.max() < block.n_block_columns
+                for i, col in enumerate(group.columns):
+                    # remapping through obs_subset recovers the original footprint
+                    np.testing.assert_array_equal(
+                        block.obs_subset[group.obs_indices[i]],
+                        full_footprints[int(col + block.start)],
+                    )
+                covered.extend((group.columns + block.start).tolist())
+        expected = np.setdiff1d(np.arange(geometry.n_columns), geometry.empty_columns)
+        assert np.array_equal(np.sort(covered), expected)
+        with pytest.raises(ValueError):
+            geometry.column_block(5, 3)
+
+
 class TestGeometryCache:
     def _counting(self, monkeypatch):
         calls = {"n": 0}
