@@ -179,10 +179,13 @@ def forecast_record():
         recorder.add("step_fused", row["optimized_s"])
     parity = _bench_osse_parity()
     paper = _bench_osse_paper_scale()
+    from repro.utils.xp import default_backend_name
+
     return recorder.write_json(
         RECORD_PATH,
         benchmark="forecast-engine",
         fft_backend=headline["fft_backend"],
+        array_backend=default_backend_name(),
         forecast_step=headline,
         forecast_step_cases=cases,
         osse_parity=parity,

@@ -236,9 +236,12 @@ def kernel_record():
         recorder.add(f"ensf_{row['sampler']}_reference", row["reference_s"])
         recorder.add(f"ensf_{row['sampler']}_fused", row["optimized_s"])
     ensf = max(cases, key=lambda row: row["speedup"])
+    from repro.utils.xp import default_backend_name
+
     return recorder.write_json(
         RECORD_PATH,
         benchmark="analysis-kernels",
+        array_backend=default_backend_name(),
         letkf=letkf,
         letkf_sharded=letkf_sharded,
         ensf=ensf,

@@ -6,16 +6,23 @@
 #   2. The parallel-analysis worker-invariance contract must hold through a
 #      real n_workers=2 process pool (EnSF member-seeded executor and the
 #      column-sharded LETKF), so CI always exercises the pool path.
-#   3. The tier-1 suite itself must pass; --durations=10 surfaces creeping
+#   3. The backend-parametrized kernel-equivalence suite must pass with the
+#      array backend forced to ``mock-device`` via the environment variable
+#      (proving both the env-var precedence path and the transfer-metered
+#      dispatch layer without hardware).
+#   4. The BENCH_*.json perf baselines must keep their documented schema
+#      (required keys present, speedup notes non-empty) so they cannot
+#      silently rot between benchmark refreshes.
+#   5. The tier-1 suite itself must pass; --durations=10 surfaces creeping
 #      slow tests.
-# Usage: scripts/smoke.sh [extra pytest args for step 3]
+# Usage: scripts/smoke.sh [extra pytest args for step 5]
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== smoke 1/3: collection with scipy blocked (numpy-only install) =="
+echo "== smoke 1/5: collection with scipy blocked (numpy-only install) =="
 python - <<'EOF'
 import sys
 
@@ -45,8 +52,60 @@ if rc != 0:
 print("collection OK without scipy")
 EOF
 
-echo "== smoke 2/3: parallel-analysis worker invariance (n_workers=2 pool) =="
+echo "== smoke 2/5: parallel-analysis worker invariance (n_workers=2 pool) =="
 python -m pytest -x -q tests/unit/test_hpc.py::TestParallelAnalysis
 
-echo "== smoke 3/3: tier-1 suite with --durations=10 =="
+echo "== smoke 3/5: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
+# Prove the env-var resolution path itself in a fresh process (the
+# backend-parametrized fixture clears the env var to control its own
+# selection, so this assertion is the part the suite below cannot cover).
+REPRO_ARRAY_BACKEND=mock-device python -c "
+from repro.utils.xp import default_backend_name, resolve_backend
+assert default_backend_name() == 'mock-device', default_backend_name()
+assert resolve_backend(None).name == 'mock-device'
+assert resolve_backend('auto').name == 'mock-device'
+print('REPRO_ARRAY_BACKEND resolution OK')"
+# Run the kernel-equivalence files WITHOUT a marker filter: the
+# backend-parametrized tests cover every backend explicitly, while the
+# unparametrized tests construct their kernels with backend=None and
+# therefore really run on the env-selected mock-device default.
+REPRO_ARRAY_BACKEND=mock-device python -m pytest -x -q \
+    tests/unit/test_xp_backend.py tests/unit/test_kernels.py \
+    tests/unit/test_forecast_kernels.py
+
+echo "== smoke 4/5: BENCH_*.json schema sanity =="
+python - <<'EOF'
+import json
+
+SPECS = {
+    "BENCH_kernels.json": dict(
+        required=["benchmark", "created_unix", "sections",
+                  "letkf", "letkf_sharded", "ensf", "ensf_cases"],
+        notes=[("letkf_sharded", "speedup_note")],
+    ),
+    "BENCH_forecast.json": dict(
+        required=["benchmark", "created_unix", "sections", "fft_backend",
+                  "forecast_step", "forecast_step_cases", "osse_parity",
+                  "osse_128", "speedup_note"],
+        notes=[("speedup_note",)],
+    ),
+}
+for path, spec in SPECS.items():
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    missing = [key for key in spec["required"] if key not in payload]
+    if missing:
+        raise SystemExit(f"{path}: missing required keys {missing}")
+    for keypath in spec["notes"]:
+        node = payload
+        for key in keypath:
+            node = node[key]
+        if not (isinstance(node, str) and node.strip()):
+            raise SystemExit(f"{path}: speedup note at {'/'.join(keypath)} is empty")
+    if "array_backend" in payload and not str(payload["array_backend"]).strip():
+        raise SystemExit(f"{path}: array_backend recorded but empty")
+print("BENCH schema OK")
+EOF
+
+echo "== smoke 5/5: tier-1 suite with --durations=10 =="
 exec python -m pytest -x -q --durations=10 "$@"

@@ -78,6 +78,13 @@ class EnSFConfig:
         states have O(10) amplitudes, so this keeps the method scale-free.
     damping:
         Damping function ``h(t)``; defaults to the paper's ``h(t) = T − t``.
+    backend:
+        Array backend name for the fused analysis kernels (``None`` = the
+        ``REPRO_ARRAY_BACKEND`` process default).  Forwarded to the
+        Monte-Carlo score estimator and the buffered reverse-SDE
+        integrator; the numpy backend is bit-identical to the pre-shim
+        kernels, and draws never depend on the backend (host stream
+        semantics, see :mod:`repro.utils.xp`).
     """
 
     n_sde_steps: int = 100
@@ -90,6 +97,7 @@ class EnSFConfig:
     obs_var_stability_factor: float = 2.0
     damping: object = field(default_factory=LinearDamping)
     fused: bool = True
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_sde_steps < 1:
@@ -197,6 +205,7 @@ class _FusedPosteriorScore:
     ) -> None:
         self.prior = prior
         self.likelihood = likelihood
+        self.xp = prior.xp
         self._out: np.ndarray | None = None
         self._lik_buf: np.ndarray | None = None
 
@@ -211,31 +220,39 @@ class _FusedPosteriorScore:
             self._kind = "generic"
             self._indices = None
         self._observation = np.asarray(observation, dtype=float)
+        self._observation_dev = self.xp.to_device(self._observation)
         inv_var = 1.0 / operator.obs_error_var
         # Uniform R collapses the broadcast multiply to a scalar scale.
         if np.all(inv_var == inv_var[0]):
             self._inv_var: float | np.ndarray = float(inv_var[0])
         else:
-            self._inv_var = inv_var
+            self._inv_var = self.xp.to_device(inv_var)
 
     def __call__(self, z: np.ndarray, t: float) -> np.ndarray:
+        xp = self.xp
         if self._out is None or self._out.shape != z.shape:
-            self._out = np.empty_like(z)
+            self._out = xp.empty_like(z)
         out = self.prior.score_into(z, t, self._out)
 
         if self._kind == "generic":
-            return self.likelihood.add_damped_score(z, t, out)
+            # Generic operators evaluate on the host (they are arbitrary
+            # Python); round-trip the state once per call.  Identity on the
+            # CPU backends.
+            out_host = self.likelihood.add_damped_score(xp.to_host(z), t, xp.to_host(out))
+            if out_host is not out:
+                xp.copyto(out, xp.to_device(out_host))
+            return out
 
         damping = float(self.likelihood.damping(t))
         if self._kind == "identity":
             if self._lik_buf is None or self._lik_buf.shape != z.shape:
-                self._lik_buf = np.empty_like(z)
-            np.subtract(self._observation[None, :], z, out=self._lik_buf)
+                self._lik_buf = xp.empty_like(z)
+            xp.subtract(self._observation_dev[None, :], z, out=self._lik_buf)
             self._lik_buf *= damping * self._inv_var
             out += self._lik_buf
         else:
             z_local = z[:, self._indices]
-            np.subtract(self._observation[None, :], z_local, out=z_local)
+            xp.subtract(self._observation_dev[None, :], z_local, out=z_local)
             z_local *= damping * self._inv_var
             out[:, self._indices] += z_local
         return out
@@ -263,6 +280,7 @@ class EnSF(EnsembleFilter):
             stochastic=self.config.stochastic_sampler,
             t_start=self.config.t_start,
             reuse_buffers=self.config.fused,
+            backend=self.config.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -278,6 +296,7 @@ class EnSF(EnsembleFilter):
             schedule=self.schedule,
             minibatch=self.config.minibatch,
             rng=self.rng,
+            backend=self.config.backend,
         )
         likelihood = GaussianLikelihoodScore(operator, observation, damping=self.config.damping)
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.schedules import LinearAlphaSchedule
 from repro.utils.random import default_rng
+from repro.utils.xp import ArrayBackend, resolve_backend
 
 __all__ = ["MonteCarloScoreEstimator", "gaussian_reference_score"]
 
@@ -55,6 +56,14 @@ class MonteCarloScoreEstimator:
         uses the full ensemble (the paper's default for moderate ``M``).
     rng:
         Random stream used to draw mini-batches.
+    backend:
+        Array backend name (``"numpy"``/``"mock-device"``/``"cupy"``), an
+        :class:`~repro.utils.xp.ArrayBackend`, or ``None`` for the
+        process-wide default (``REPRO_ARRAY_BACKEND``).  The fused score
+        path runs entirely on the backend's device: the ensemble (and its
+        statics) is moved once at construction, evaluation points are
+        expected on-device, and the numpy backend is bit-identical to the
+        pre-shim kernel.
     """
 
     def __init__(
@@ -63,6 +72,7 @@ class MonteCarloScoreEstimator:
         schedule: LinearAlphaSchedule | None = None,
         minibatch: int | None = None,
         rng: np.random.Generator | int | None = None,
+        backend: str | ArrayBackend | None = None,
     ) -> None:
         ensemble = np.asarray(ensemble, dtype=float)
         if ensemble.ndim != 2:
@@ -78,10 +88,14 @@ class MonteCarloScoreEstimator:
             )
         self.minibatch = minibatch
         self.rng = default_rng(rng)
+        self.xp = resolve_backend(backend)
+        xp = self.xp
+        # Device-resident ensemble: moved once, reused by every evaluation.
+        self._ensemble_dev = xp.to_device(ensemble)
         # Ensemble statics reused by every fused evaluation: ``Σ_d x_j²``
         # appears in the expanded ``‖z − α x_j‖²`` on each of the ~100
         # reverse-SDE score calls and never changes within an analysis.
-        self._x_sq = np.einsum("md,md->m", ensemble, ensemble)
+        self._x_sq = xp.einsum("md,md->m", self._ensemble_dev, self._ensemble_dev)
         # Reusable workspaces keyed by the (n_points, J) evaluation shape.
         self._weight_buf: np.ndarray | None = None
         self._zsq_buf: np.ndarray | None = None
@@ -95,11 +109,11 @@ class MonteCarloScoreEstimator:
         return self.ensemble[idx]
 
     def _select_batch_with_statics(self) -> tuple[np.ndarray, np.ndarray]:
-        """Batch plus its precomputed ``Σ_d x_j²`` statics."""
+        """Device batch plus its precomputed ``Σ_d x_j²`` statics."""
         if self.minibatch is None or self.minibatch == self.n_members:
-            return self.ensemble, self._x_sq
+            return self._ensemble_dev, self._x_sq
         idx = self.rng.choice(self.n_members, size=self.minibatch, replace=False)
-        return self.ensemble[idx], self._x_sq[idx]
+        return self._ensemble_dev[idx], self._x_sq[idx]
 
     def log_weights(self, z: np.ndarray, t: float, batch: np.ndarray | None = None) -> np.ndarray:
         """Unnormalised log-weights ``log Q(z_t | x_j)`` for each batch member.
@@ -117,21 +131,24 @@ class MonteCarloScoreEstimator:
         -------
         Array of shape ``(n, J)``.
         """
+        xp = self.xp
         z = np.atleast_2d(np.asarray(z, dtype=float))
         batch = self._select_batch() if batch is None else np.asarray(batch, dtype=float)
         alpha = float(self.schedule.alpha(t))
         beta_sq = float(self.schedule.beta_sq(t))
+        z_dev = xp.to_device(z)
+        batch_dev = xp.to_device(batch)
         # ||z - α x_j||² expanded to avoid materialising the (n, J, d) tensor
         # twice; a single broadcasted difference is still required for the
         # score itself, so we reuse the expansion trick only for the weights.
-        z_sq = np.sum(z**2, axis=1)[:, None]
-        x_sq = np.sum(batch**2, axis=1)[None, :]
-        cross = z @ batch.T
+        z_sq = xp.sum(z_dev**2, axis=1)[:, None]
+        x_sq = xp.sum(batch_dev**2, axis=1)[None, :]
+        cross = z_dev @ batch_dev.T
         dist_sq = z_sq - 2.0 * alpha * cross + alpha**2 * x_sq
         # The expansion can go slightly negative in floating point when
         # z ≈ α x_j; clamp so the log-density never exceeds its peak.
-        dist_sq = np.maximum(dist_sq, 0.0)
-        return -0.5 * dist_sq / beta_sq
+        dist_sq = xp.maximum(dist_sq, 0.0)
+        return xp.to_host(-0.5 * dist_sq / beta_sq)
 
     def weights(self, z: np.ndarray, t: float, batch: np.ndarray | None = None) -> np.ndarray:
         """Self-normalised weights ``ŵ_t(z, x_j)`` (Eq. 16); rows sum to one."""
@@ -152,12 +169,16 @@ class MonteCarloScoreEstimator:
         Parameters
         ----------
         z:
-            Evaluation points, shape ``(n, d)`` (2-D, C-contiguous float64).
+            Evaluation points, shape ``(n, d)`` (2-D, C-contiguous float64),
+            resident on the backend's device (host arrays for the CPU
+            backends; the reverse-SDE integrator keeps its state on-device).
         t:
             Pseudo-time in ``[0, 1]``.
         out:
-            Output array of shape ``(n, d)``; overwritten with the score.
+            Device output array of shape ``(n, d)``; overwritten with the
+            score.
         """
+        xp = self.xp
         batch, x_sq = self._select_batch_with_statics()
         alpha = float(self.schedule.alpha(t))
         beta_sq = float(self.schedule.beta_sq(t))
@@ -165,23 +186,23 @@ class MonteCarloScoreEstimator:
         j = batch.shape[0]
 
         if self._weight_buf is None or self._weight_buf.shape != (n, j):
-            self._weight_buf = np.empty((n, j))
-            self._zsq_buf = np.empty(n)
+            self._weight_buf = xp.empty((n, j))
+            self._zsq_buf = xp.empty(n)
         w = self._weight_buf
         z_sq = self._zsq_buf
 
-        np.einsum("nd,nd->n", z, z, out=z_sq)
-        np.dot(z, batch.T, out=w)                     # cross terms (one GEMM)
+        xp.einsum("nd,nd->n", z, z, out=z_sq)
+        xp.dot(z, batch.T, out=w)                     # cross terms (one GEMM)
         w *= -2.0 * alpha
         w += z_sq[:, None]
         w += (alpha * alpha) * x_sq[None, :]
-        np.maximum(w, 0.0, out=w)                     # clamp ‖z − α x‖² ≥ 0
+        xp.maximum(w, 0.0, out=w)                     # clamp ‖z − α x‖² ≥ 0
         w *= -0.5 / beta_sq
         w -= w.max(axis=1, keepdims=True)
-        np.exp(w, out=w)
+        xp.exp(w, out=w)
         w /= w.sum(axis=1, keepdims=True)
 
-        np.dot(w, batch, out=out)                     # weighted mean (one GEMM)
+        xp.dot(w, batch, out=out)                     # weighted mean (one GEMM)
         out *= alpha
         out -= z
         out *= 1.0 / beta_sq                          # ŝ = −(z − α Σ w x)/β²
@@ -194,13 +215,16 @@ class MonteCarloScoreEstimator:
         shape.  A fresh output array is allocated; the fused intermediates
         reuse the estimator's workspaces.
         """
+        xp = self.xp
         z_in = np.asarray(z, dtype=float)
         squeeze = z_in.ndim == 1
         z2d = np.ascontiguousarray(np.atleast_2d(z_in))
         if z2d.shape[1] != self.dim:
             raise ValueError(f"points have dimension {z2d.shape[1]}, ensemble has {self.dim}")
-        out = np.empty_like(z2d)
-        self.score_into(z2d, t, out)
+        z_dev = xp.to_device(z2d)
+        out = xp.empty_like(z_dev)
+        self.score_into(z_dev, t, out)
+        out = xp.to_host(out)
         return out[0] if squeeze else out
 
     def score_reference(self, z: np.ndarray, t: float) -> np.ndarray:

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.schedules import LinearAlphaSchedule
 from repro.utils.random import default_rng
+from repro.utils.xp import ArrayBackend, resolve_backend
 
 __all__ = ["ReverseSDESampler"]
 
@@ -53,6 +54,16 @@ class ReverseSDESampler:
         buffers (default).  The random stream consumption is identical to
         the reference loop; results differ only by floating-point
         reassociation.
+    backend:
+        Array backend (name, :class:`~repro.utils.xp.ArrayBackend`, or
+        ``None`` for the ``REPRO_ARRAY_BACKEND`` default) used by the
+        buffered loop.  The state lives on the backend's device for the
+        whole integration (one host→device move after the initial draw,
+        one device→host move at the end); Gaussian increments always come
+        from the host ``rng`` stream (see
+        :meth:`ArrayBackend.standard_normal`), so trajectories are
+        backend-reproducible.  The reference loop is the pre-shim oracle
+        and always runs on the host.
     """
 
     def __init__(
@@ -64,6 +75,7 @@ class ReverseSDESampler:
         t_start: float = 0.0,
         max_state_magnitude: float = 1.0e3,
         reuse_buffers: bool = True,
+        backend: str | ArrayBackend | None = None,
     ) -> None:
         if n_steps < 1:
             raise ValueError("n_steps must be at least 1")
@@ -78,6 +90,7 @@ class ReverseSDESampler:
         # integrations untouched.
         self.max_state_magnitude = float(max_state_magnitude)
         self.reuse_buffers = bool(reuse_buffers)
+        self.xp = resolve_backend(backend)
 
     def sample(
         self,
@@ -118,7 +131,9 @@ class ReverseSDESampler:
         trajectory = [z.copy()] if return_trajectory else None
 
         if self.reuse_buffers:
+            z = self.xp.to_device(z)
             self._integrate_buffered(score_fn, z, grid, rng, trajectory)
+            z = self.xp.to_host(z)
         else:
             z = self._integrate_reference(score_fn, z, grid, rng, trajectory)
 
@@ -135,14 +150,15 @@ class ReverseSDESampler:
         rng: np.random.Generator,
         trajectory: list | None,
     ) -> np.ndarray:
-        """In-place Euler loop with persistent buffers (mutates ``z``)."""
+        """In-place Euler loop with persistent buffers (mutates device ``z``)."""
+        xp = self.xp
         t_vals = grid[:-1]
         dt = grid[:-1] - grid[1:]  # positive step sizes
         b = np.asarray(self.schedule.drift_coeff(t_vals), dtype=float)
         sigma_sq = np.asarray(self.schedule.diffusion_sq(t_vals), dtype=float)
 
-        drift = np.empty_like(z)
-        noise = np.empty_like(z) if self.stochastic else None
+        drift = xp.empty_like(z)
+        noise = xp.empty_like(z) if self.stochastic else None
         bound = self.max_state_magnitude
 
         for i in range(self.n_steps):
@@ -152,20 +168,20 @@ class ReverseSDESampler:
             diffusion_dt = float(sigma_sq[i]) * dti
             if self.stochastic:
                 # z ← z(1 − b dt) + σ² dt s + √(σ² dt) ξ
-                np.multiply(score, diffusion_dt, out=drift)
+                xp.multiply(score, diffusion_dt, out=drift)
                 z *= 1.0 - float(b[i]) * dti
                 z += drift
-                rng.standard_normal(out=noise)
+                xp.standard_normal(rng, out=noise)
                 noise *= np.sqrt(diffusion_dt)
                 z += noise
             else:
-                np.multiply(score, 0.5 * diffusion_dt, out=drift)
+                xp.multiply(score, 0.5 * diffusion_dt, out=drift)
                 z *= 1.0 - float(b[i]) * dti
                 z += drift
-            if bound > 0 and (z.max() > bound or z.min() < -bound):
-                np.clip(z, -bound, bound, out=z)
+            if bound > 0 and (float(xp.amax(z)) > bound or float(xp.amin(z)) < -bound):
+                xp.clip(z, -bound, bound, out=z)
             if trajectory is not None:
-                trajectory.append(z.copy())
+                trajectory.append(xp.to_host(z.copy()))
         return z
 
     def _integrate_reference(

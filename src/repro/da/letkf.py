@@ -74,6 +74,7 @@ from repro.da.localization import (
     geometry_cache_key,
 )
 from repro.utils.grid import Grid2D, periodic_distance_matrix
+from repro.utils.xp import ArrayBackend, resolve_backend
 
 __all__ = ["LETKFConfig", "LETKF", "solve_local_batch"]
 
@@ -83,6 +84,7 @@ def solve_local_batch(
     c_innov: np.ndarray,
     local_pert: np.ndarray,
     local_mean: np.ndarray,
+    xp: ArrayBackend | None = None,
 ) -> np.ndarray:
     """Solve a stack of local ETKF problems.
 
@@ -101,56 +103,73 @@ def solve_local_batch(
         Per-column prior perturbations, shape ``(B, nlev, m)``.
     local_mean:
         Per-column prior means, shape ``(B, nlev)``.
+    xp:
+        Array backend the inputs live on (``None`` = the process default).
+        All arithmetic — the stacked ``eigh`` included — runs on that
+        backend; the numpy backend is bit-identical to the pre-shim kernel.
 
     Returns
     -------
     Local analysis states, shape ``(B, nlev, m)`` (member axis last).
     """
+    xp = resolve_backend(xp)
     n_members = a_stack.shape[-1]
-    evals, evecs = np.linalg.eigh(a_stack)
-    np.maximum(evals, 1.0e-12, out=evals)
+    evals, evecs = xp.eigh(a_stack)
+    xp.maximum(evals, 1.0e-12, out=evals)
 
     # Mean-update weights: w̄ = A⁻¹ C δy = E (Eᵀ C δy / λ).
-    u = np.einsum("bji,bj->bi", evecs, c_innov)
+    u = xp.einsum("bji,bj->bi", evecs, c_innov)
     u /= evals
-    w_mean = np.matmul(evecs, u[:, :, None])[..., 0]
+    w_mean = xp.matmul(evecs, u[:, :, None])[..., 0]
 
     # Perturbation transform: Xᵃ = X E √((m-1)/λ) Eᵀ  (symmetric root).
-    v = np.matmul(local_pert, evecs)
-    v *= np.sqrt((n_members - 1) / evals)[:, None, :]
-    analysis = np.matmul(v, np.ascontiguousarray(evecs.transpose(0, 2, 1)))
-    analysis += np.matmul(local_pert, w_mean[:, :, None])
+    v = xp.matmul(local_pert, evecs)
+    v *= xp.sqrt((n_members - 1) / evals)[:, None, :]
+    analysis = xp.matmul(v, xp.ascontiguousarray(evecs.transpose(0, 2, 1)))
+    analysis += xp.matmul(local_pert, w_mean[:, :, None])
     analysis += local_mean[:, :, None]
     return analysis
 
 
-def _assemble_from_conv(conv_block: np.ndarray, n_members: int) -> tuple[np.ndarray, np.ndarray]:
+def _assemble_from_conv(
+    conv_block: np.ndarray, n_members: int, xp: ArrayBackend
+) -> tuple[np.ndarray, np.ndarray]:
     """Build ``(a_stack, c_innov)`` from a block of convolved channels.
 
     ``conv_block`` holds the ``m(m+1)/2`` upper-triangle Gram channels
     followed by the ``m`` innovation channels, shape
     ``(n_pair + m, n_block_columns)`` — the per-column output of the global
-    circular convolution (see :meth:`LETKF._convolution_channels`).
+    circular convolution (see :meth:`LETKF._convolution_channels`) — on
+    ``xp``'s device.
     """
-    iu0, iu1 = np.triu_indices(n_members)
+    iu0, iu1 = xp.triu_indices(n_members)
     n_pair = iu0.size
     n_block = conv_block.shape[1]
-    a_stack = np.empty((n_block, n_members, n_members))
-    pair_t = np.ascontiguousarray(conv_block[:n_pair].T)
+    a_stack = xp.empty((n_block, n_members, n_members))
+    pair_t = xp.ascontiguousarray(conv_block[:n_pair].T)
     a_stack[:, iu0, iu1] = pair_t
     a_stack[:, iu1, iu0] = pair_t
-    diag = np.arange(n_members)
+    diag = xp.arange(n_members)
     a_stack[:, diag, diag] += n_members - 1
-    c_innov = np.ascontiguousarray(conv_block[n_pair:].T)
+    c_innov = xp.ascontiguousarray(conv_block[n_pair:].T)
     return a_stack, c_innov
 
 
 def _solve_shard_convolution(args) -> np.ndarray:
-    """Worker entry point: assemble + solve one convolution-mode column shard."""
-    conv_block, local_pert, local_mean = args
+    """Worker entry point: assemble + solve one convolution-mode column shard.
+
+    The shard's arrays move to the worker's device **once** (and the result
+    moves back once) — the per-column work inside never touches the host,
+    which the mock-device transfer counters assert in the tests.
+    """
+    conv_block, local_pert, local_mean, backend = args
+    xp = resolve_backend(backend)
+    conv_block = xp.to_device(conv_block)
+    local_pert = xp.to_device(local_pert)
+    local_mean = xp.to_device(local_mean)
     n_members = local_pert.shape[-1]
-    a_stack, c_innov = _assemble_from_conv(conv_block, n_members)
-    return solve_local_batch(a_stack, c_innov, local_pert, local_mean)
+    a_stack, c_innov = _assemble_from_conv(conv_block, n_members, xp)
+    return xp.to_host(solve_local_batch(a_stack, c_innov, local_pert, local_mean, xp))
 
 
 def _solve_shard_grouped(args) -> np.ndarray:
@@ -159,29 +178,39 @@ def _solve_shard_grouped(args) -> np.ndarray:
     ``y_sub_t`` / ``innov_sub`` are the block's observation subset
     (``(p_sub, m)`` and ``(p_sub,)``), gathered by the parent;
     ``block.groups`` index into them.  Columns without a footprint keep the
-    prior, exactly like the serial grouped path.
+    prior, exactly like the serial grouped path.  Device transfers happen
+    once per shard input (plus once per footprint group for the precomputed
+    geometry tensors) — never inside the per-column batch loop.
     """
-    block, y_sub_t, innov_sub, local_pert, local_mean, max_batch = args
+    block, y_sub_t, innov_sub, local_pert, local_mean, max_batch, backend = args
+    xp = resolve_backend(backend)
+    y_sub_t = xp.to_device(y_sub_t)
+    innov_sub = xp.to_device(innov_sub)
+    local_pert = xp.to_device(local_pert)
+    local_mean = xp.to_device(local_mean)
     n_members = local_pert.shape[-1]
     analysis = local_pert + local_mean[:, :, None]  # prior block (member axis last)
     for group in block.groups:
+        obs_indices = xp.to_device(group.obs_indices)
+        sqrt_r_inv = xp.to_device(group.sqrt_r_inv)
+        columns = xp.to_device(group.columns)
         n_group = group.columns.size
         for start in range(0, n_group, max_batch):
             sl = slice(start, min(start + max_batch, n_group))
-            idx = group.obs_indices[sl]
-            sqrt_r = group.sqrt_r_inv[sl]
-            cols = group.columns[sl]
+            idx = obs_indices[sl]
+            sqrt_r = sqrt_r_inv[sl]
+            cols = columns[sl]
 
-            q = y_sub_t[idx]  # (B, p, m)
+            q = xp.take(y_sub_t, idx, axis=0)  # (B, p, m)
             q *= sqrt_r[:, :, None]
-            a_stack = np.matmul(q.transpose(0, 2, 1), q)
-            diag = np.arange(n_members)
+            a_stack = xp.matmul(q.transpose(0, 2, 1), q)
+            diag = xp.arange(n_members)
             a_stack[:, diag, diag] += n_members - 1
-            c_innov = np.einsum("bpm,bp->bm", q, sqrt_r * innov_sub[idx])
+            c_innov = xp.einsum("bpm,bp->bm", q, sqrt_r * innov_sub[idx])
             analysis[cols] = solve_local_batch(
-                a_stack, c_innov, local_pert[cols], local_mean[cols]
+                a_stack, c_innov, local_pert[cols], local_mean[cols], xp
             )
-    return analysis
+    return xp.to_host(analysis)
 
 
 @dataclass(frozen=True)
@@ -210,6 +239,11 @@ class LETKFConfig:
         function of the grid only — never of the worker count — which is
         what makes the sharded analysis bit-identical for any executor
         layout.
+    backend:
+        Array backend name for the batched/sharded analysis kernels
+        (``None`` = the ``REPRO_ARRAY_BACKEND`` process default).  The
+        numpy backend is bit-identical to the pre-shim kernels; the name is
+        what ships to pool workers, which resolve their own backend handle.
     """
 
     localization: LocalizationConfig = field(default_factory=LocalizationConfig)
@@ -218,6 +252,7 @@ class LETKFConfig:
     use_batched: bool = True
     block_columns: int = 512
     shard_columns: int = 1024
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rtps_factor <= 1.0:
@@ -254,6 +289,7 @@ class LETKF(EnsembleFilter):
     ) -> None:
         self.grid = grid
         self.config = config or LETKFConfig()
+        self.xp = resolve_backend(self.config.backend)
         self._obs_columns = None if obs_columns is None else np.asarray(obs_columns, dtype=int)
         # Geometry cache: one entry per (grid, obs network, localization)
         # identity, so a static network costs zero distance computations
@@ -413,10 +449,20 @@ class LETKF(EnsembleFilter):
         )
         local_mean = np.ascontiguousarray(x_mean.reshape(n_levels, n_columns).T)
 
+        backend_name = self.xp.name
         if geometry.mode == "convolution":
-            conv = self._convolution_channels(y_pert, innovation, geometry, n_members)
+            # The circular convolution is global, so the parent assembles the
+            # channels (on its own device) and scatters host column slices.
+            conv = self.xp.to_host(
+                self._convolution_channels(y_pert, innovation, geometry, n_members)
+            )
             jobs = [
-                (np.ascontiguousarray(conv[:, a:b]), local_pert[a:b], local_mean[a:b])
+                (
+                    np.ascontiguousarray(conv[:, a:b]),
+                    local_pert[a:b],
+                    local_mean[a:b],
+                    backend_name,
+                )
                 for a, b in bounds
             ]
             results = executor.map_blocks(_solve_shard_convolution, jobs)
@@ -433,6 +479,7 @@ class LETKF(EnsembleFilter):
                         local_pert[a:b],
                         local_mean[a:b],
                         self.config.block_columns,
+                        backend_name,
                     )
                 )
             results = executor.map_blocks(_solve_shard_grouped, jobs)
@@ -464,17 +511,22 @@ class LETKF(EnsembleFilter):
         ``m(m+1)/2`` symmetric channels (plus ``m`` innovation channels)
         replaces every per-column distance/weight/gather operation.
         """
+        xp = self.xp
         n_members = prior.shape[0]
         n_columns, n_levels = geometry.n_columns, self.grid.nlev
 
         conv = self._convolution_channels(y_pert, innovation, geometry, n_members)
-        a_stack, c_innov = _assemble_from_conv(conv, n_members)
+        a_stack, c_innov = _assemble_from_conv(conv, n_members, xp)
 
-        local_pert = np.ascontiguousarray(
-            x_pert.reshape(n_members, n_levels, n_columns).transpose(2, 1, 0)
+        local_pert = xp.to_device(
+            np.ascontiguousarray(
+                x_pert.reshape(n_members, n_levels, n_columns).transpose(2, 1, 0)
+            )
         )
-        local_mean = x_mean.reshape(n_levels, n_columns).T
-        analysis_t = solve_local_batch(a_stack, c_innov, local_pert, local_mean)
+        local_mean = xp.to_device(x_mean.reshape(n_levels, n_columns).T)
+        analysis_t = xp.to_host(
+            solve_local_batch(a_stack, c_innov, local_pert, local_mean, xp)
+        )
         return np.ascontiguousarray(analysis_t.transpose(2, 1, 0)).reshape(
             n_members, n_levels * n_columns
         )
@@ -490,10 +542,11 @@ class LETKF(EnsembleFilter):
 
         Returns the ``(m(m+1)/2 + m, n_columns)`` array of per-column local
         system entries (upper-triangle Gram channels then innovation
-        channels).  The circular convolution is inherently global, so the
-        parallel path runs it once in the parent and ships each shard only
-        its column slice.
+        channels) on the analysis backend's device.  The circular
+        convolution is inherently global, so the parallel path runs it once
+        in the parent and ships each shard only its column slice.
         """
+        xp = self.xp
         grid = self.grid
         n_columns, n_levels = geometry.n_columns, grid.nlev
         ny, nx = grid.ny, grid.nx
@@ -502,9 +555,11 @@ class LETKF(EnsembleFilter):
             obs_columns, np.tile(np.arange(n_columns), n_levels)
         )
 
-        iu0, iu1 = np.triu_indices(n_members)
+        y_pert = xp.to_device(y_pert)
+        innovation = xp.to_device(innovation)
+        iu0, iu1 = xp.triu_indices(n_members)
         n_pair = iu0.size
-        channels = np.zeros((n_pair + n_members, n_columns))
+        channels = xp.zeros((n_pair + n_members, n_columns))
 
         if identity_network:
             # Fast path for the fully observed grid: observations are the
@@ -515,18 +570,21 @@ class LETKF(EnsembleFilter):
                 channels[:n_pair] += y_lev[iu0, lev] * y_lev[iu1, lev]
                 channels[n_pair:] += y_lev[:, lev] * innov_lev[lev][None, :]
         else:
+            obs_cols_dev = xp.to_device(obs_columns)
             contrib = y_pert[iu0] * y_pert[iu1]
             proj = y_pert * innovation[None, :]
             for q in range(n_pair):
-                channels[q] = np.bincount(obs_columns, weights=contrib[q], minlength=n_columns)
+                channels[q] = xp.bincount(
+                    obs_cols_dev, weights=contrib[q], minlength=n_columns
+                )
             for j in range(n_members):
-                channels[n_pair + j] = np.bincount(
-                    obs_columns, weights=proj[j], minlength=n_columns
+                channels[n_pair + j] = xp.bincount(
+                    obs_cols_dev, weights=proj[j], minlength=n_columns
                 )
 
-        spectra = np.fft.rfft2(channels.reshape(-1, ny, nx), axes=(-2, -1))
-        spectra *= geometry.kernel_rfft2
-        return np.fft.irfft2(spectra, s=(ny, nx), axes=(-2, -1)).reshape(-1, n_columns)
+        spectra = xp.rfft2(channels.reshape(-1, ny, nx), axes=(-2, -1))
+        spectra *= geometry.conv_kernel(xp)
+        return xp.irfft2(spectra, s=(ny, nx), axes=(-2, -1)).reshape(-1, n_columns)
 
     def _analyze_grouped(
         self,
@@ -537,38 +595,49 @@ class LETKF(EnsembleFilter):
         innovation: np.ndarray,
         geometry: LocalAnalysisGeometry,
     ) -> np.ndarray:
-        """Solve the local problems group-by-group with stacked tensors."""
+        """Solve the local problems group-by-group with stacked tensors.
+
+        The ensemble statistics move to the analysis backend's device once
+        before the group loop, and the device geometry tensors are cached on
+        the geometry per backend (:meth:`LocalAnalysisGeometry.device_groups`)
+        — steady-state cycles therefore transfer only the per-cycle
+        statistics, never per-column or per-block data.
+        """
+        xp = self.xp
         n_members = prior.shape[0]
         n_columns, n_levels = geometry.n_columns, self.grid.nlev
-        analysis = prior.copy()  # empty-footprint columns keep the prior
+        analysis = xp.to_device(prior).copy()  # empty-footprint columns keep the prior
         analysis_t = analysis.T  # (state_dim, m) view for scattered writes
-        y_t = np.ascontiguousarray(y_pert.T)  # (n_obs, m)
-        x_t = np.ascontiguousarray(x_pert.T)  # (state_dim, m)
-        lev_offsets = np.arange(n_levels) * n_columns
+        y_t = xp.to_device(np.ascontiguousarray(y_pert.T))  # (n_obs, m)
+        x_t = xp.to_device(np.ascontiguousarray(x_pert.T))  # (state_dim, m)
+        x_mean = xp.to_device(x_mean)
+        innovation = xp.to_device(innovation)
+        lev_offsets = xp.arange(n_levels) * n_columns
 
         block = self.config.block_columns
-        for group in geometry.groups:
+        for group, dev_group in zip(geometry.groups, geometry.device_groups(xp)):
+            columns, obs_indices, sqrt_r_inv = dev_group
             n_group = group.columns.size
             for start in range(0, n_group, block):
                 sl = slice(start, min(start + block, n_group))
-                idx = group.obs_indices[sl]
-                sqrt_r = group.sqrt_r_inv[sl]
-                cols = group.columns[sl]
+                idx = obs_indices[sl]
+                sqrt_r = sqrt_r_inv[sl]
+                cols = columns[sl]
 
-                q = y_t[idx]  # (B, p, m)
+                q = xp.take(y_t, idx, axis=0)  # (B, p, m)
                 q *= sqrt_r[:, :, None]
-                a_stack = np.matmul(q.transpose(0, 2, 1), q)
-                diag = np.arange(n_members)
+                a_stack = xp.matmul(q.transpose(0, 2, 1), q)
+                diag = xp.arange(n_members)
                 a_stack[:, diag, diag] += n_members - 1
-                c_innov = np.einsum("bpm,bp->bm", q, sqrt_r * innovation[idx])
+                c_innov = xp.einsum("bpm,bp->bm", q, sqrt_r * innovation[idx])
 
                 state_idx = cols[:, None] + lev_offsets[None, :]  # (B, nlev)
                 local_pert = x_t[state_idx]  # (B, nlev, m), member axis last
                 local_mean = x_mean[state_idx]
                 analysis_t[state_idx] = solve_local_batch(
-                    a_stack, c_innov, local_pert, local_mean
+                    a_stack, c_innov, local_pert, local_mean, xp
                 )
-        return analysis
+        return xp.to_host(analysis)
 
     # ------------------------------------------------------------------ #
     def analyze_reference(

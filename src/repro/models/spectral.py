@@ -36,6 +36,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils.fft import FFTBackend, resolve_backend
+from repro.utils.xp import ArrayBackend
+from repro.utils.xp import resolve_backend as resolve_array_backend
 
 __all__ = ["SpectralGrid"]
 
@@ -63,6 +65,10 @@ class SpectralGrid:
         FFT backend name (``"numpy"``/``"scipy"``), an
         :class:`~repro.utils.fft.FFTBackend`, or ``None`` for the
         process-wide default (``REPRO_FFT_BACKEND`` / auto-detection).
+    array_backend:
+        Array backend (:mod:`repro.utils.xp`) for the non-FFT spectral
+        arithmetic; ``None`` uses the ``REPRO_ARRAY_BACKEND`` default.  The
+        numpy backend is bit-identical to the pre-shim grid.
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class SpectralGrid:
         ly: float,
         dealias: bool = True,
         backend: str | FFTBackend | None = None,
+        array_backend: str | ArrayBackend | None = None,
     ):
         if nx < 4 or ny < 4:
             raise ValueError("spectral grid needs at least 4 points per direction")
@@ -84,6 +91,7 @@ class SpectralGrid:
         self.ly = float(ly)
         self.dealias = bool(dealias)
         self.fft = resolve_backend(backend)
+        self.xp = resolve_array_backend(array_backend)
 
         # rfft2 layout: full frequencies along y (axis -2), half along x (axis -1).
         kx = 2.0 * np.pi / self.lx * np.arange(0, self.nx // 2 + 1)
@@ -216,7 +224,7 @@ class SpectralGrid:
     def truncate(self, spec: np.ndarray) -> np.ndarray:
         """Apply the 2/3 dealiasing mask to a spectral array."""
         self._check_spectral(np.asarray(spec))
-        return spec * self.dealias_mask
+        return self.xp.multiply(spec, self.dealias_mask)
 
     # ------------------------------------------------------------------ #
     # spectral calculus

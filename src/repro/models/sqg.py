@@ -43,6 +43,8 @@ from repro.utils.fft import FFTBackend
 from repro.utils.grid import Grid2D
 from repro.utils.random import default_rng
 from repro.utils.spectra import kinetic_energy_spectrum, spectral_slope
+from repro.utils.xp import ArrayBackend
+from repro.utils.xp import resolve_backend as resolve_array_backend
 
 __all__ = ["SQGParameters", "SQGModel", "spinup_sqg"]
 
@@ -57,20 +59,20 @@ class _ForecastWorkspace:
     for transforms.)
     """
 
-    def __init__(self, lead: tuple[int, ...], ny: int, nkx: int, keep: int):
+    def __init__(self, lead: tuple[int, ...], ny: int, nkx: int, keep: int, xp: ArrayBackend):
         full = lead + (2, ny, nkx)
         pruned = lead + (2, ny, keep)
         level = lead + (ny, keep)
-        self.thp = np.empty(pruned, dtype=complex)  # contiguous retained-state copy
-        self.thf = np.empty(pruned, dtype=complex)  # buoyancy-scaled θ̂
-        self.psi = np.empty(pruned, dtype=complex)
-        self.t1 = np.empty(level, dtype=complex)
-        self.t2 = np.empty(level, dtype=complex)
-        self.quad = np.empty((4,) + pruned, dtype=complex)  # θ̂_x, θ̂_y, û, v̂
-        self.k = [np.empty(full, dtype=complex) for _ in range(4)]
-        self.stage = np.empty(full, dtype=complex)
-        self.acc = np.empty(full, dtype=complex)
-        self.div = np.empty(full, dtype=complex)
+        self.thp = xp.empty(pruned, dtype=complex)  # contiguous retained-state copy
+        self.thf = xp.empty(pruned, dtype=complex)  # buoyancy-scaled θ̂
+        self.psi = xp.empty(pruned, dtype=complex)
+        self.t1 = xp.empty(level, dtype=complex)
+        self.t2 = xp.empty(level, dtype=complex)
+        self.quad = xp.empty((4,) + pruned, dtype=complex)  # θ̂_x, θ̂_y, û, v̂
+        self.k = [xp.empty(full, dtype=complex) for _ in range(4)]
+        self.stage = xp.empty(full, dtype=complex)
+        self.acc = xp.empty(full, dtype=complex)
+        self.div = xp.empty(full, dtype=complex)
 
 
 @dataclass(frozen=True)
@@ -166,6 +168,13 @@ class SQGModel:
         Use the fused kernel (default).  ``False`` forces the reference step.
     backend:
         FFT backend selection forwarded to :class:`SpectralGrid`.
+    array_backend:
+        Array backend (:mod:`repro.utils.xp`) for the fused kernel's
+        workspace arithmetic; ``None`` uses the ``REPRO_ARRAY_BACKEND``
+        default.  The numpy backend is bit-identical to the pre-shim
+        kernel; the reference step is the pre-shim oracle and always runs
+        on plain numpy.  (A non-CPU array backend additionally needs a
+        device-aware FFT backend — the remaining GPU work item.)
     """
 
     def __init__(
@@ -174,12 +183,17 @@ class SQGModel:
         *,
         fused: bool = True,
         backend: str | FFTBackend | None = None,
+        array_backend: str | ArrayBackend | None = None,
     ):
         self.params = params or SQGParameters()
         self.fused = bool(fused)
+        self.xp = resolve_array_backend(array_backend)
         p = self.params
         self.grid = p.grid
-        self.spectral = SpectralGrid(p.nx, p.ny, p.lx, p.ly, dealias=p.dealias, backend=backend)
+        self.spectral = SpectralGrid(
+            p.nx, p.ny, p.lx, p.ly, dealias=p.dealias, backend=backend,
+            array_backend=self.xp,
+        )
         self.state_size = self.grid.size
 
         # Vertical structure parameter μ = N K H / f for every wavenumber.
@@ -209,19 +223,23 @@ class SQGModel:
         )
 
         # --- fused-kernel constants (hoisted out of the tendency loop) ----- #
+        # The cycle-invariant multipliers move to the array backend's device
+        # once at construction (identity on the CPU backends).
         sp = self.spectral
+        xp = self.xp
         keep = sp.kx_keep
         self._keep = keep
         # Combined derivative×dealias multipliers on the retained columns.
-        self._ikx_m = np.ascontiguousarray(sp.ikx_dealias[:, :keep])
-        self._ily_m = np.ascontiguousarray(sp.ily_dealias[:, :keep])
-        self._mask_keep = np.ascontiguousarray(sp.dealias_mask[:, :keep])
+        self._ikx_m = xp.to_device(np.ascontiguousarray(sp.ikx_dealias[:, :keep]))
+        self._ily_m = xp.to_device(np.ascontiguousarray(sp.ily_dealias[:, :keep]))
+        self._mask_keep = xp.to_device(np.ascontiguousarray(sp.dealias_mask[:, :keep]))
         # Pruned inversion coefficients (bit-identical values, fewer columns).
-        self._h_over_mu_k = np.ascontiguousarray(self._h_over_mu[:, :keep])
-        self._inv_sinh_k = np.ascontiguousarray(self._inv_sinh[:, :keep])
-        self._inv_tanh_k = np.ascontiguousarray(self._inv_tanh[:, :keep])
+        self._h_over_mu_k = xp.to_device(np.ascontiguousarray(self._h_over_mu[:, :keep]))
+        self._inv_sinh_k = xp.to_device(np.ascontiguousarray(self._inv_sinh[:, :keep]))
+        self._inv_tanh_k = xp.to_device(np.ascontiguousarray(self._inv_tanh[:, :keep]))
+        self._hyperdiff_dev = xp.to_device(self._hyperdiff)
         # Base state broadcast against (..., 2, ny, nx) physical fields.
-        self._u_base_col = self._u_base.reshape((2, 1, 1))
+        self._u_base_col = xp.to_device(self._u_base.reshape((2, 1, 1)))
         self._workspaces: dict[tuple[int, ...], _ForecastWorkspace] = {}
 
     def __getstate__(self):
@@ -235,7 +253,7 @@ class SQGModel:
         ws = self._workspaces.get(lead)
         if ws is None:
             p = self.params
-            ws = _ForecastWorkspace(lead, p.ny, p.nx // 2 + 1, self._keep)
+            ws = _ForecastWorkspace(lead, p.ny, p.nx // 2 + 1, self._keep, self.xp)
             self._workspaces[lead] = ws
         return ws
 
@@ -380,57 +398,58 @@ class SQGModel:
         """
         sp = self.spectral
         p = self.params
+        xp = self.xp
         keep = self._keep
 
         # Contiguous copy of the retained columns (strided views slow every
         # subsequent elementwise pass).
-        np.copyto(ws.thp, theta_spec[..., :keep])
+        xp.copyto(ws.thp, theta_spec[..., :keep])
         thp = ws.thp
 
         # --- inversion θ̂ → ψ̂ on the retained columns ---------------------- #
-        th0 = np.multiply(thp[..., 0, :, :], self._factor, out=ws.thf[..., 0, :, :])
-        th1 = np.multiply(thp[..., 1, :, :], self._factor, out=ws.thf[..., 1, :, :])
-        np.multiply(th1, self._inv_sinh_k, out=ws.t1)
-        np.multiply(th0, self._inv_tanh_k, out=ws.t2)
-        np.subtract(ws.t1, ws.t2, out=ws.t1)
-        np.multiply(self._h_over_mu_k, ws.t1, out=ws.psi[..., 0, :, :])
-        np.multiply(th1, self._inv_tanh_k, out=ws.t1)
-        np.multiply(th0, self._inv_sinh_k, out=ws.t2)
-        np.subtract(ws.t1, ws.t2, out=ws.t1)
-        np.multiply(self._h_over_mu_k, ws.t1, out=ws.psi[..., 1, :, :])
+        th0 = xp.multiply(thp[..., 0, :, :], self._factor, out=ws.thf[..., 0, :, :])
+        th1 = xp.multiply(thp[..., 1, :, :], self._factor, out=ws.thf[..., 1, :, :])
+        xp.multiply(th1, self._inv_sinh_k, out=ws.t1)
+        xp.multiply(th0, self._inv_tanh_k, out=ws.t2)
+        xp.subtract(ws.t1, ws.t2, out=ws.t1)
+        xp.multiply(self._h_over_mu_k, ws.t1, out=ws.psi[..., 0, :, :])
+        xp.multiply(th1, self._inv_tanh_k, out=ws.t1)
+        xp.multiply(th0, self._inv_sinh_k, out=ws.t2)
+        xp.subtract(ws.t1, ws.t2, out=ws.t1)
+        xp.multiply(self._h_over_mu_k, ws.t1, out=ws.psi[..., 1, :, :])
 
         # --- θ̂_x, θ̂_y, û, v̂ stacked for one batched inverse transform ----- #
-        np.multiply(self._ikx_m, thp, out=ws.quad[0])
-        np.multiply(self._ily_m, thp, out=ws.quad[1])
-        np.multiply(self._ily_m, ws.psi, out=ws.quad[2])
-        np.negative(ws.quad[2], out=ws.quad[2])  # û = −(i·l·mask)·ψ̂
-        np.multiply(self._ikx_m, ws.psi, out=ws.quad[3])
+        xp.multiply(self._ikx_m, thp, out=ws.quad[0])
+        xp.multiply(self._ily_m, thp, out=ws.quad[1])
+        xp.multiply(self._ily_m, ws.psi, out=ws.quad[2])
+        xp.negative(ws.quad[2], out=ws.quad[2])  # û = −(i·l·mask)·ψ̂
+        xp.multiply(self._ikx_m, ws.psi, out=ws.quad[3])
         theta_x, theta_y, u, v = sp.to_physical_retained(ws.quad)
 
         # --- physical-space products (reference operation order) ----------- #
-        np.add(u, self._u_base_col, out=u)
-        np.multiply(u, theta_x, out=u)
-        np.multiply(v, theta_y, out=theta_y)
-        np.add(u, theta_y, out=u)                 # advection
-        np.multiply(v, -self._mean_grad, out=v)   # baroclinic
-        np.add(u, v, out=u)
-        np.negative(u, out=u)                     # tend_phys
+        xp.add(u, self._u_base_col, out=u)
+        xp.multiply(u, theta_x, out=u)
+        xp.multiply(v, theta_y, out=theta_y)
+        xp.add(u, theta_y, out=u)                 # advection
+        xp.multiply(v, -self._mean_grad, out=v)   # baroclinic
+        xp.add(u, v, out=u)
+        xp.negative(u, out=u)                     # tend_phys
 
         # --- back to (retained) spectral space, dealias, relax -------------- #
         conv = sp.to_spectral_retained(u)
-        np.multiply(conv, self._mask_keep, out=conv)
-        np.divide(theta_spec, p.relaxation_time, out=ws.div)
-        np.subtract(conv, ws.div[..., :keep], out=out[..., :keep])
-        np.negative(ws.div[..., keep:], out=out[..., keep:])
+        xp.multiply(conv, self._mask_keep, out=conv)
+        xp.divide(theta_spec, p.relaxation_time, out=ws.div)
+        xp.subtract(conv, ws.div[..., :keep], out=out[..., :keep])
+        xp.negative(ws.div[..., keep:], out=out[..., keep:])
 
         if p.ekman_drag > 0.0:
-            drag0 = np.multiply(
+            drag0 = xp.multiply(
                 theta_spec[..., 0, :, :], -p.ekman_drag, out=ws.div[..., 0, :, :]
             )
-            np.add(out[..., 0, :, :], drag0, out=out[..., 0, :, :])
+            xp.add(out[..., 0, :, :], drag0, out=out[..., 0, :, :])
             # The reference adds an all-zero drag level; replicate the +0.0
             # pass so even signed zeros match.
-            np.add(out[..., 1, :, :], 0.0, out=out[..., 1, :, :])
+            xp.add(out[..., 1, :, :], 0.0, out=out[..., 1, :, :])
         return out
 
     def step_spectral(self, theta_spec: np.ndarray) -> np.ndarray:
@@ -442,31 +461,37 @@ class SQGModel:
         """
         if not self.fused:
             return self.step_spectral_reference(theta_spec)
-        theta_spec = np.asarray(theta_spec)
+        xp = self.xp
+        # Host↔device boundary is per step (identity on the CPU backends):
+        # the public contract is host-in/host-out.  A device backend would
+        # rather keep the state resident across the step()/run() loops —
+        # that refactor is the ROADMAP's remaining GPU item, gated on a
+        # device-aware FFT backend.
+        theta_spec = xp.to_device(np.asarray(theta_spec))
         ws = self._workspace(theta_spec.shape[:-3])
         dt = self.params.dt
         k1, k2, k3, k4 = ws.k
         self._tendency_fused(theta_spec, k1, ws)
-        np.multiply(k1, 0.5 * dt, out=ws.stage)
-        np.add(theta_spec, ws.stage, out=ws.stage)
+        xp.multiply(k1, 0.5 * dt, out=ws.stage)
+        xp.add(theta_spec, ws.stage, out=ws.stage)
         self._tendency_fused(ws.stage, k2, ws)
-        np.multiply(k2, 0.5 * dt, out=ws.stage)
-        np.add(theta_spec, ws.stage, out=ws.stage)
+        xp.multiply(k2, 0.5 * dt, out=ws.stage)
+        xp.add(theta_spec, ws.stage, out=ws.stage)
         self._tendency_fused(ws.stage, k3, ws)
-        np.multiply(k3, dt, out=ws.stage)
-        np.add(theta_spec, ws.stage, out=ws.stage)
+        xp.multiply(k3, dt, out=ws.stage)
+        xp.add(theta_spec, ws.stage, out=ws.stage)
         self._tendency_fused(ws.stage, k4, ws)
         # new = (θ̂ + dt/6 · (k1 + 2·k2 + 2·k3 + k4)) · hyperdiff, in the
         # reference association order.
-        np.multiply(k2, 2.0, out=ws.acc)
-        np.add(k1, ws.acc, out=ws.acc)
-        np.multiply(k3, 2.0, out=ws.stage)
-        np.add(ws.acc, ws.stage, out=ws.acc)
-        np.add(ws.acc, k4, out=ws.acc)
-        np.multiply(ws.acc, dt / 6.0, out=ws.acc)
-        new = np.add(theta_spec, ws.acc)
-        np.multiply(new, self._hyperdiff, out=new)
-        return new
+        xp.multiply(k2, 2.0, out=ws.acc)
+        xp.add(k1, ws.acc, out=ws.acc)
+        xp.multiply(k3, 2.0, out=ws.stage)
+        xp.add(ws.acc, ws.stage, out=ws.acc)
+        xp.add(ws.acc, k4, out=ws.acc)
+        xp.multiply(ws.acc, dt / 6.0, out=ws.acc)
+        new = xp.add(theta_spec, ws.acc)
+        xp.multiply(new, self._hyperdiff_dev, out=new)
+        return xp.to_host(new)
 
     def step(self, theta: np.ndarray, n_steps: int = 1) -> np.ndarray:
         """Advance physical states ``(..., 2, ny, nx)`` by ``n_steps`` steps."""

@@ -1,4 +1,4 @@
-"""Shared utilities: RNG handling, grid geometry, spectra, FFT backends and timing."""
+"""Shared utilities: RNG handling, grid geometry, spectra, FFT/array backends and timing."""
 
 from repro.utils.random import (
     MemberStreams,
@@ -13,6 +13,15 @@ from repro.utils.fft import (
     default_backend_name,
     resolve_backend,
     set_default_backend,
+)
+from repro.utils.xp import (
+    ArrayBackend,
+    MockDeviceBackend,
+    available_array_backends,
+    default_array_backend_name,
+    register_array_backend,
+    resolve_array_backend,
+    set_default_array_backend,
 )
 from repro.utils.grid import (
     Grid2D,
@@ -38,6 +47,13 @@ __all__ = [
     "default_backend_name",
     "resolve_backend",
     "set_default_backend",
+    "ArrayBackend",
+    "MockDeviceBackend",
+    "available_array_backends",
+    "default_array_backend_name",
+    "register_array_backend",
+    "resolve_array_backend",
+    "set_default_array_backend",
     "Grid2D",
     "periodic_distance_matrix",
     "periodic_delta",

@@ -23,7 +23,11 @@ Selection
 ---------
 ``resolve_backend(None)`` consults the ``REPRO_FFT_BACKEND`` environment
 variable (``"auto"``, ``"numpy"`` or ``"scipy"``; default ``"auto"``), then
-falls back to scipy-if-available.  ``scipy`` is imported lazily — merely
+falls back to scipy-if-available.  An explicit env value (anything but
+``"auto"``) wins over :func:`set_default_backend` — the env var is the
+operator's override of record, the same precedence the array-backend shim
+(:mod:`repro.utils.xp`) uses for ``REPRO_ARRAY_BACKEND``.  ``scipy`` is
+imported lazily — merely
 importing this module (or collecting the test suite) never pulls it in, so
 numpy-only installs keep working (checked by ``scripts/smoke.sh``).
 
@@ -162,24 +166,32 @@ def _auto_backend_name() -> str:
 
 
 def default_backend_name() -> str:
-    """Name the ``"auto"`` selection resolves to right now."""
-    if _default_override is not None:
-        return _default_override
+    """Name the ``"auto"`` selection resolves to right now.
+
+    Precedence: explicit ``REPRO_FFT_BACKEND`` (anything but ``"auto"``)
+    beats :func:`set_default_backend`, which beats auto-detection.
+    """
     env = os.environ.get(_ENV_BACKEND, "auto").strip().lower() or "auto"
     if env != "auto":
         return env
+    if _default_override is not None:
+        return _default_override
     return _auto_backend_name()
 
 
 def set_default_backend(name: str | None) -> None:
     """Override the process-wide default backend (``None`` restores env/auto).
 
-    Grids constructed afterwards pick up the new default; existing grids keep
-    the backend they were built with.
+    An explicit ``REPRO_FFT_BACKEND`` environment value still wins (see
+    :func:`default_backend_name`).  Grids constructed afterwards pick up the
+    new default; existing grids keep the backend they were built with.
     """
     global _default_override
     if name is not None and name not in _FACTORIES:
-        raise ValueError(f"unknown FFT backend {name!r}; choose from {sorted(_FACTORIES)}")
+        raise ValueError(
+            f"unknown FFT backend {name!r}; choose from {sorted(_FACTORIES)} "
+            f"(available here: {available_backends()})"
+        )
     _default_override = name
 
 
@@ -190,9 +202,14 @@ def resolve_backend(backend: str | FFTBackend | None = None) -> FFTBackend:
     name = backend if backend is not None else default_backend_name()
     name = name.strip().lower()
     if name == "auto":
-        name = _auto_backend_name()
+        # An explicit "auto" follows the same precedence as None: env var,
+        # then set_default_backend, then host auto-detection.
+        name = default_backend_name()
     if name not in _FACTORIES:
-        raise ValueError(f"unknown FFT backend {name!r}; choose from {sorted(_FACTORIES)}")
+        raise ValueError(
+            f"unknown FFT backend {name!r}; choose from {sorted(_FACTORIES)} "
+            f"(available here: {available_backends()})"
+        )
     if name not in _cache:
         try:
             _cache[name] = _FACTORIES[name]()

@@ -1,0 +1,402 @@
+"""Pluggable array backend shim for the analysis + forecast kernels.
+
+This extends the FFT-shim pattern (:mod:`repro.utils.fft`) into a full
+array-API layer: the hot kernels — the batched/sharded LETKF assembly and
+stacked-``eigh`` solve, the fused EnSF Monte-Carlo score path, the buffered
+reverse-SDE integrator and the fused SQG tendency/RK4 kernel — obtain their
+array operations from an :class:`ArrayBackend` namespace instead of calling
+:mod:`numpy` directly, so the whole analysis/forecast stack can run on an
+accelerator without code duplication (the route the source paper takes to
+Summit/Frontier scale).
+
+Three backends are registered:
+
+* ``"numpy"`` (default) — every operation *is* the corresponding numpy
+  function, so routing through the shim is **bit-identical** to the
+  pre-shim kernels: same ufuncs, same associativity, same rng draws.
+* ``"mock-device"`` — CPU-only test double.  All arithmetic delegates to
+  numpy (results stay bit-identical), but the explicit host↔device
+  transfer points (:meth:`ArrayBackend.to_device` /
+  :meth:`ArrayBackend.to_host`) count calls and bytes, so CI can prove
+  dispatch properties that matter on real hardware — e.g. that the sharded
+  LETKF solve loop performs no per-column round-trips — without a GPU.
+* ``"cupy"`` — CuPy adapter, imported lazily; present in
+  :func:`available_backends` only when :mod:`cupy` is importable.  Random
+  draws are taken from the host :class:`numpy.random.Generator` in the
+  documented stream order and then copied to the device, so trajectories
+  remain reproducible against the CPU backends (see
+  :meth:`ArrayBackend.standard_normal`).
+
+Additional adapters (e.g. a generic array-API namespace) can be added with
+:func:`register_backend`.
+
+Selection
+---------
+``resolve_backend(None)`` consults the ``REPRO_ARRAY_BACKEND`` environment
+variable first; an explicit env value (anything but ``"auto"``) wins over
+:func:`set_default_backend`, which in turn wins over the built-in default
+(``"numpy"``).  The same precedence applies to ``REPRO_FFT_BACKEND`` in the
+FFT shim.  Backends pickle by name (:meth:`ArrayBackend.__reduce__`), so
+configs and kernels that hold one ship cleanly to
+:class:`~repro.hpc.ensemble_parallel.EnsembleExecutor` worker processes.
+
+Stream semantics
+----------------
+``standard_normal(rng, size)`` / ``standard_normal(rng, out=buf)`` always
+consumes the **host** generator exactly as ``rng.standard_normal`` would —
+device backends draw on the host and copy.  This is what keeps parallel
+analyses worker-invariant (see :class:`repro.utils.random.MemberStreams`)
+regardless of where the arithmetic runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "MockDeviceBackend",
+    "available_backends",
+    "available_array_backends",
+    "default_backend_name",
+    "default_array_backend_name",
+    "register_backend",
+    "register_array_backend",
+    "resolve_backend",
+    "resolve_array_backend",
+    "set_default_backend",
+    "set_default_array_backend",
+]
+
+_ENV_BACKEND = "REPRO_ARRAY_BACKEND"
+
+
+class ArrayBackend:
+    """Array-operation namespace used by the analysis + forecast kernels.
+
+    The base class is the ``"numpy"`` backend: every attribute is bound to
+    the numpy function of the same meaning, so the routed kernels execute
+    the exact instruction stream they executed before the shim existed.
+    Device backends subclass it and override the operation table plus the
+    transfer hooks.
+
+    The operation set is deliberately small — the ~25 operations the hot
+    kernels actually use — grouped as:
+
+    * creation/layout: ``asarray``, ``ascontiguousarray``, ``empty``,
+      ``empty_like``, ``zeros``, ``arange``, ``copyto``, ``concatenate``
+    * elementwise (all accepting ``out=``): ``add``, ``subtract``,
+      ``multiply``, ``divide``, ``negative``, ``maximum``, ``sqrt``,
+      ``exp``, ``clip``
+    * linear algebra: ``eigh`` (stacked), ``matmul`` (stacked), ``dot``,
+      ``einsum``
+    * reductions: ``sum``, ``amax``, ``amin``, ``mean``
+    * gather/scatter: ``take``, ``put``, ``bincount``, ``triu_indices``
+    * FFT (LETKF convolution assembly): ``rfft2``, ``irfft2``
+    * movement: ``to_device``, ``to_host``, ``synchronize``
+    * randomness: ``standard_normal`` (host-stream semantics, see module
+      docstring)
+    """
+
+    name = "numpy"
+    device = "cpu"
+
+    # creation / layout
+    asarray = staticmethod(np.asarray)
+    ascontiguousarray = staticmethod(np.ascontiguousarray)
+    empty = staticmethod(np.empty)
+    empty_like = staticmethod(np.empty_like)
+    zeros = staticmethod(np.zeros)
+    arange = staticmethod(np.arange)
+    copyto = staticmethod(np.copyto)
+    concatenate = staticmethod(np.concatenate)
+    # elementwise
+    add = staticmethod(np.add)
+    subtract = staticmethod(np.subtract)
+    multiply = staticmethod(np.multiply)
+    divide = staticmethod(np.divide)
+    negative = staticmethod(np.negative)
+    maximum = staticmethod(np.maximum)
+    sqrt = staticmethod(np.sqrt)
+    exp = staticmethod(np.exp)
+    clip = staticmethod(np.clip)
+    # linear algebra
+    eigh = staticmethod(np.linalg.eigh)
+    matmul = staticmethod(np.matmul)
+    dot = staticmethod(np.dot)
+    einsum = staticmethod(np.einsum)
+    # reductions
+    sum = staticmethod(np.sum)
+    amax = staticmethod(np.max)
+    amin = staticmethod(np.min)
+    mean = staticmethod(np.mean)
+    # gather / scatter
+    take = staticmethod(np.take)
+    put = staticmethod(np.put)
+    bincount = staticmethod(np.bincount)
+    triu_indices = staticmethod(np.triu_indices)
+    # FFT (the LETKF convolution assembly; forecast FFTs go through
+    # repro.utils.fft, whose backend is chosen independently)
+    rfft2 = staticmethod(np.fft.rfft2)
+    irfft2 = staticmethod(np.fft.irfft2)
+
+    # ------------------------------------------------------------------ #
+    def to_device(self, array: np.ndarray) -> np.ndarray:
+        """Move a host array to the backend's device (identity on CPU)."""
+        return array
+
+    def to_host(self, array: np.ndarray) -> np.ndarray:
+        """Move a device array back to host memory (identity on CPU)."""
+        return array
+
+    def synchronize(self) -> None:
+        """Block until queued device work completes (no-op on CPU)."""
+
+    def standard_normal(self, rng, size=None, out=None) -> np.ndarray:
+        """Gaussian draws with **host** stream semantics.
+
+        The bits always come from ``rng`` (a :class:`numpy.random.Generator`
+        or :class:`~repro.utils.random.MemberStreams`) in exactly the order
+        ``rng.standard_normal`` would produce them; device backends stage
+        through a host buffer and copy.  Reproducibility therefore never
+        depends on the backend.
+        """
+        if out is not None:
+            return rng.standard_normal(out=out)
+        return rng.standard_normal(size)
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<ArrayBackend {self.name!r} device={self.device!r}>"
+
+    def __reduce__(self):
+        # Registered backends reconstruct by name on unpickle (mirrors
+        # FFTBackend.__reduce__): device handles and transfer counters are
+        # process-local, and this keeps configs holding a backend shippable
+        # to EnsembleExecutor worker processes.
+        if self.name in _FACTORIES:
+            return (resolve_backend, (self.name,))
+        return super().__reduce__()  # pragma: no cover - custom backends
+
+
+class MockDeviceBackend(ArrayBackend):
+    """Numpy-delegating backend that meters host↔device traffic.
+
+    Arithmetic is bit-identical to the numpy backend; the only difference
+    is that :meth:`to_device` / :meth:`to_host` count calls and bytes.  The
+    dispatch layer of the routed kernels is thereby exercisable (and its
+    transfer discipline provable) in CI without hardware: a kernel that
+    round-trips per column shows up as a transfer count scaling with the
+    column count instead of the shard count.
+    """
+
+    name = "mock-device"
+    device = "mock-device"
+
+    def __init__(self) -> None:
+        self.reset_transfers()
+
+    def reset_transfers(self) -> None:
+        """Zero the transfer counters (call at the start of a measurement)."""
+        self.h2d_calls = 0
+        self.d2h_calls = 0
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+
+    def transfer_counts(self) -> dict[str, int]:
+        """Snapshot of the transfer counters."""
+        return {
+            "h2d_calls": self.h2d_calls,
+            "d2h_calls": self.d2h_calls,
+            "h2d_bytes": self.h2d_bytes,
+            "d2h_bytes": self.d2h_bytes,
+        }
+
+    def to_device(self, array: np.ndarray) -> np.ndarray:
+        self.h2d_calls += 1
+        self.h2d_bytes += int(getattr(array, "nbytes", 0))
+        return array
+
+    def to_host(self, array: np.ndarray) -> np.ndarray:
+        self.d2h_calls += 1
+        self.d2h_bytes += int(getattr(array, "nbytes", 0))
+        return array
+
+
+class _CuPyBackend(ArrayBackend):
+    """CuPy adapter (requires a CUDA device; imported lazily)."""
+
+    name = "cupy"
+    device = "cuda"
+
+    def __init__(self) -> None:
+        import cupy as cp  # deferred: CPU-only installs never reach this
+
+        self._cp = cp
+        for op in (
+            "asarray",
+            "ascontiguousarray",
+            "empty",
+            "empty_like",
+            "zeros",
+            "arange",
+            "copyto",
+            "concatenate",
+            "add",
+            "subtract",
+            "multiply",
+            "divide",
+            "negative",
+            "maximum",
+            "sqrt",
+            "exp",
+            "clip",
+            "matmul",
+            "dot",
+            "sum",
+            "take",
+            "put",
+            "bincount",
+            "triu_indices",
+        ):
+            setattr(self, op, getattr(cp, op))
+        self.eigh = cp.linalg.eigh
+        self.amax = cp.max
+        self.amin = cp.min
+        self.mean = cp.mean
+        self.rfft2 = cp.fft.rfft2
+        self.irfft2 = cp.fft.irfft2
+
+    def einsum(self, subscripts, *operands, out=None, **kwargs):
+        # cupy.einsum has no ``out=``; emulate it so the fused kernels keep
+        # one call signature across backends.
+        result = self._cp.einsum(subscripts, *operands, **kwargs)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+    def to_device(self, array):
+        return self._cp.asarray(array)
+
+    def to_host(self, array):
+        return self._cp.asnumpy(array)
+
+    def synchronize(self) -> None:
+        self._cp.cuda.get_current_stream().synchronize()
+
+    def standard_normal(self, rng, size=None, out=None):
+        # Host draw first (documented stream semantics), then device copy.
+        if out is not None:
+            host = rng.standard_normal(out.shape)
+            out[...] = self._cp.asarray(host)
+            return out
+        return self._cp.asarray(rng.standard_normal(size))
+
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": ArrayBackend,
+    "mock-device": MockDeviceBackend,
+    "cupy": _CuPyBackend,
+}
+_OPTIONAL_IMPORTS = {"cupy": "cupy"}
+_cache: dict[str, ArrayBackend] = {}
+_default_override: str | None = None
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register an additional backend factory (e.g. an array-API adapter).
+
+    The factory must return an :class:`ArrayBackend` whose ``name`` matches
+    ``name``; it may raise :class:`ImportError` when its dependency is
+    missing, in which case the backend is simply absent from
+    :func:`available_backends`.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    _FACTORIES[key] = factory
+    _cache.pop(key, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names that can be constructed in this environment."""
+    names = []
+    for name in _FACTORIES:
+        module = _OPTIONAL_IMPORTS.get(name)
+        if module is not None:
+            try:
+                __import__(module)
+            except ImportError:
+                continue
+        names.append(name)
+    return tuple(names)
+
+
+def default_backend_name() -> str:
+    """Name ``resolve_backend(None)`` picks right now.
+
+    Precedence: explicit ``REPRO_ARRAY_BACKEND`` (anything but ``"auto"``)
+    beats :func:`set_default_backend`, which beats the built-in ``"numpy"``.
+    """
+    env = os.environ.get(_ENV_BACKEND, "auto").strip().lower() or "auto"
+    if env != "auto":
+        return env
+    if _default_override is not None:
+        return _default_override
+    return "numpy"
+
+
+def set_default_backend(name: str | None) -> None:
+    """Set the process-wide default backend (``None`` restores numpy/env).
+
+    An explicit ``REPRO_ARRAY_BACKEND`` environment value still wins — the
+    env var is the operator's override of record (so e.g. CI can force
+    ``mock-device`` across a whole run).
+    """
+    global _default_override
+    if name is not None and name.strip().lower() not in _FACTORIES:
+        raise ValueError(
+            f"unknown array backend {name!r}; choose from {sorted(_FACTORIES)} "
+            f"(available here: {available_backends()})"
+        )
+    _default_override = None if name is None else name.strip().lower()
+
+
+def resolve_backend(backend: str | ArrayBackend | None = None) -> ArrayBackend:
+    """Resolve a backend name (or ``None`` for the default) to a backend."""
+    if isinstance(backend, ArrayBackend):
+        return backend
+    name = backend if backend is not None else default_backend_name()
+    name = name.strip().lower()
+    if name == "auto":
+        # An explicit "auto" follows the same precedence as None: env var,
+        # then set_default_backend, then the built-in numpy default.
+        name = default_backend_name()
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown array backend {name!r}; choose from {sorted(_FACTORIES)} "
+            f"(available here: {available_backends()})"
+        )
+    if name not in _cache:
+        try:
+            _cache[name] = _FACTORIES[name]()
+        except ImportError as exc:
+            raise ImportError(
+                f"array backend {name!r} requested (via argument or ${_ENV_BACKEND}) "
+                f"but its module is not installed; available: {available_backends()}"
+            ) from exc
+    return _cache[name]
+
+
+# Aliased re-exports: the short names mirror repro.utils.fft's API (the two
+# shims are siblings), the long names disambiguate in `repro.utils`, which
+# re-exports both modules into one namespace.
+available_array_backends = available_backends
+default_array_backend_name = default_backend_name
+register_array_backend = register_backend
+resolve_array_backend = resolve_backend
+set_default_array_backend = set_default_backend

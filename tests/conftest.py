@@ -1,21 +1,34 @@
-"""Shared test fixtures: the ``slow_reference`` oracle bundle.
+"""Shared test fixtures: the ``slow_reference`` oracle bundle and the
+backend-parametrized ``array_backend`` fixture.
 
-This starts the ROADMAP "reference-path retirement" item: every test that
-exercises a pre-refactor reference implementation — ``LETKF.analyze_reference``,
-``MonteCarloScoreEstimator.score_reference``, the ``fused=False`` EnSF /
-``reuse_buffers=False`` sampler configurations, and the forecast oracle
-``SQGModel.step_spectral_reference`` — reaches it through the
-:func:`slow_reference` fixture and is automatically tagged with the
-``slow_reference`` marker.  The oracle suite can then be selected
-(``pytest -m slow_reference``) or skipped (``-m "not slow_reference"``)
-wholesale; once the fused kernels have survived a few more PRs the oracles
-retire by deleting this bundle and its call sites, not by hunting through
-the suite.
+``slow_reference`` carries the ROADMAP "reference-path retirement" item:
+every test that exercises a pre-refactor reference implementation —
+``LETKF.analyze_reference``, ``MonteCarloScoreEstimator.score_reference``,
+the ``fused=False`` EnSF / ``reuse_buffers=False`` sampler configurations,
+and the forecast oracle ``SQGModel.step_spectral_reference`` — reaches it
+through the :func:`slow_reference` fixture and is automatically tagged with
+the ``slow_reference`` marker.  The oracle inventory is down to one oracle
+test per kernel (see ROADMAP.md); the backend-parametrized equivalence
+suite now certifies the fused kernels against each other across backends.
+
+``array_backend`` re-runs the kernel-equivalence tests that request it
+under **every** registered array backend (:mod:`repro.utils.xp`), skipping
+params whose optional dependency (e.g. cupy) is absent.  The fixture
+installs the param as the process default — so code under test that
+resolves ``backend=None`` picks it up — and restores the previous selection
+afterwards; tests using it are automatically tagged ``array_backend``
+(deselect with ``-m "not array_backend"``).
 """
 
 from __future__ import annotations
 
 import pytest
+
+import repro.utils.xp as xp_mod
+
+# The full registry, not available_backends(): unavailable entries must be
+# *visible* as skips, not silently dropped from the matrix.
+ARRAY_BACKEND_PARAMS = ("numpy", "mock-device", "cupy")
 
 
 class ReferenceOracles:
@@ -73,8 +86,33 @@ def slow_reference() -> ReferenceOracles:
     return ReferenceOracles()
 
 
+@pytest.fixture(params=ARRAY_BACKEND_PARAMS)
+def array_backend(request, monkeypatch) -> "xp_mod.ArrayBackend":
+    """Run the test once per registered array backend (process default).
+
+    Unavailable optional backends skip cleanly.  ``REPRO_ARRAY_BACKEND`` is
+    cleared for the test body so the fixture's selection — not the outer
+    environment — decides which backend ``resolve_backend(None)`` returns
+    (the env var outranks ``set_default_backend`` by design).  Mock-device
+    transfer counters are reset so tests can meter their own traffic.
+    """
+    name = request.param
+    if name not in xp_mod.available_backends():
+        pytest.skip(f"array backend {name!r} not available in this environment")
+    monkeypatch.delenv("REPRO_ARRAY_BACKEND", raising=False)
+    xp_mod.set_default_backend(name)
+    backend = xp_mod.resolve_backend(name)
+    if hasattr(backend, "reset_transfers"):
+        backend.reset_transfers()
+    yield backend
+    xp_mod.set_default_backend(None)
+
+
 def pytest_collection_modifyitems(items):
-    """Auto-mark every test that requests the ``slow_reference`` fixture."""
+    """Auto-mark tests by the harness fixtures they request."""
     for item in items:
-        if "slow_reference" in getattr(item, "fixturenames", ()):
+        fixtures = getattr(item, "fixturenames", ())
+        if "slow_reference" in fixtures:
             item.add_marker(pytest.mark.slow_reference)
+        if "array_backend" in fixtures:
+            item.add_marker(pytest.mark.array_backend)

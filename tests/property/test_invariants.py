@@ -50,6 +50,67 @@ def test_gaspari_cohn_bounds_and_support(cutoff, distances):
 
 @settings(**SETTINGS)
 @given(
+    cutoff=st.floats(1.0, 1.0e7),
+    distances=st.lists(st.floats(0.0, 2.5), min_size=2, max_size=40),
+)
+def test_gaspari_cohn_monotone_decay(cutoff, distances):
+    """The correlation never increases with separation (within support and
+    across the r = 1, r = 2 knots)."""
+    d = np.sort(np.array(distances)) * cutoff  # scaled into [0, 2.5c]
+    w = gaspari_cohn(d, cutoff)
+    assert np.all(np.diff(w) <= 1.0e-12)
+
+
+def _gc_piecewise(r: float) -> float:
+    """Gaspari & Cohn (1999) Eq. 4.10 evaluated literally (test oracle)."""
+    if r <= 1.0:
+        return -0.25 * r**5 + 0.5 * r**4 + 0.625 * r**3 - (5.0 / 3.0) * r**2 + 1.0
+    if r < 2.0:
+        return (
+            (1.0 / 12.0) * r**5
+            - 0.5 * r**4
+            + 0.625 * r**3
+            + (5.0 / 3.0) * r**2
+            - 5.0 * r
+            + 4.0
+            - (2.0 / 3.0) / r
+        )
+    return 0.0
+
+
+@settings(**SETTINGS)
+@given(cutoff=st.floats(1.0e-3, 1.0e7))
+def test_gaspari_cohn_knot_points_exact(cutoff):
+    """Exact agreement with the piecewise polynomial at the knots r ∈ {0, 1, 2}
+    (in units of the cut-off), where the two rational pieces meet."""
+    knots = np.array([0.0, cutoff, 2.0 * cutoff])
+    w = gaspari_cohn(knots, cutoff)
+    assert w[0] == 1.0
+    assert w[1] == _gc_piecewise(1.0)
+    assert w[2] == 0.0
+    # the two polynomial pieces agree at the interior knot
+    near = -0.25 + 0.5 + 0.625 - 5.0 / 3.0 + 1.0
+    far = 1.0 / 12.0 - 0.5 + 0.625 + 5.0 / 3.0 - 5.0 + 4.0 - 2.0 / 3.0
+    assert abs(near - far) < 1.0e-15
+    assert abs(w[1] - near) < 1.0e-15
+
+
+@settings(**SETTINGS)
+@given(
+    cutoff=st.floats(0.5, 1.0e6),
+    scaled=st.lists(st.floats(0.0, 3.0), min_size=1, max_size=25),
+)
+def test_gaspari_cohn_matches_piecewise_everywhere(cutoff, scaled):
+    """The vectorised kernel equals the literal piecewise form (clipped to
+    [0, 1]) at arbitrary separations, not just the knots."""
+    d = np.array(scaled) * cutoff
+    w = gaspari_cohn(d, cutoff)
+    expected = np.clip([_gc_piecewise(r) for r in scaled], 0.0, 1.0)
+    np.testing.assert_allclose(w, expected, rtol=0.0, atol=5.0e-14)
+
+
+@settings(**SETTINGS)
+@given(
     m=st.integers(2, 10),
     d=st.integers(1, 20),
     factor=st.floats(0.0, 1.0),

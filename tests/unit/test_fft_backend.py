@@ -50,15 +50,31 @@ class TestSelection:
         assert default_backend_name() == "numpy"
         assert resolve_backend(None).name == "numpy"
 
-    def test_set_default_backend_overrides_env(self, monkeypatch):
+    def test_env_var_beats_set_default_backend(self, monkeypatch):
+        """The env var is the operator's override of record (same contract
+        as REPRO_ARRAY_BACKEND in the array shim)."""
         monkeypatch.setenv("REPRO_FFT_BACKEND", "numpy")
-        set_default_backend("numpy")
+        set_default_backend("scipy")
         assert default_backend_name() == "numpy"
+        monkeypatch.delenv("REPRO_FFT_BACKEND")
+        assert default_backend_name() == "scipy"  # override takes over
         set_default_backend(None)
-        assert default_backend_name() == "numpy"  # env still in force
+        assert default_backend_name() in available_backends()
+
+    def test_unknown_env_backend_raises_with_available_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FFT_BACKEND", "fftw")
+        with pytest.raises(ValueError, match=r"unknown FFT backend.*available"):
+            resolve_backend(None)
 
     def test_auto_resolves_somewhere_valid(self):
         assert resolve_backend("auto").name in available_backends()
+
+    def test_explicit_auto_follows_env_precedence(self, monkeypatch):
+        """resolve_backend("auto") must honour the env var exactly like
+        resolve_backend(None) (regression: it used to go straight to host
+        auto-detection)."""
+        monkeypatch.setenv("REPRO_FFT_BACKEND", "numpy")
+        assert resolve_backend("auto").name == "numpy"
 
     def test_bad_worker_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_FFT_WORKERS", "0")

@@ -7,15 +7,18 @@ reached through the shared ``slow_reference`` fixture): every floating-point
 operation of the reference is replicated in the same order, so the asserted
 tolerance is exact equality, not a closeness threshold.  The FFT backends
 (numpy/scipy pocketfft) must likewise produce identical trajectories.
+
+Reference-path retirement: the forecast oracle inventory is down to the
+single parametrized ``test_bitwise_equal_to_reference`` (its cases cover
+batching, dealias-off and Ekman-drag branches), re-run under every array
+backend via the ``array_backend`` fixture; cross-backend bit-identity lives
+in ``tests/unit/test_xp_backend.py``.
 """
 
 import numpy as np
 import pytest
 
-from repro.core.observations import IdentityObservation
-from repro.da.cycling import OSSEConfig, free_run, run_osse
-from repro.da.letkf import LETKF, LETKFConfig
-from repro.da.localization import LocalizationConfig
+from repro.da.cycling import OSSEConfig, free_run
 from repro.models.sqg import SQGModel, SQGParameters
 from repro.utils.fft import available_backends
 
@@ -31,9 +34,26 @@ def _states(model: SQGModel, n: int, seed: int = 0) -> np.ndarray:
 
 
 class TestFusedStepEquivalence:
-    @pytest.mark.parametrize("batch", [0, 1, 7], ids=["single", "batch1", "batch7"])
-    def test_bitwise_equal_to_reference(self, batch, slow_reference):
-        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0))
+    """The single forecast oracle test (reference-path retirement, ROADMAP):
+    the cases cover single/batched states, the dealias-off branch and the
+    Ekman-drag branch, each re-run under every array backend."""
+
+    @pytest.mark.parametrize(
+        "batch, params_kwargs",
+        [
+            (0, {}),
+            (1, {}),
+            (7, {}),
+            (3, {"dealias": False}),
+            (4, {"ekman_drag": 1.0e-6}),
+        ],
+        ids=["single", "batch1", "batch7", "dealias_off", "ekman"],
+    )
+    def test_bitwise_equal_to_reference(self, batch, params_kwargs, slow_reference, array_backend):
+        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0, **params_kwargs))
+        assert model.xp is array_backend
+        if not params_kwargs.get("dealias", True):
+            assert model.spectral.kx_keep == 16 // 2 + 1  # nothing truncated
         theta = _states(model, batch, seed=1)
         spec = model.spectral.to_spectral(theta)
         fused = model.step_spectral(spec)
@@ -42,32 +62,6 @@ class TestFusedStepEquivalence:
         # second step reuses the workspace buffers — still exact
         np.testing.assert_array_equal(
             model.step_spectral(fused), slow_reference.sqg_step(model, reference)
-        )
-
-    def test_dealias_off(self, slow_reference):
-        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0, dealias=False))
-        assert model.spectral.kx_keep == 16 // 2 + 1  # nothing truncated
-        spec = model.spectral.to_spectral(_states(model, 3, seed=2))
-        np.testing.assert_array_equal(
-            model.step_spectral(spec), slow_reference.sqg_step(model, spec)
-        )
-
-    def test_ekman_drag_on(self, slow_reference):
-        model = SQGModel(SQGParameters(nx=16, ny=16, dt=1800.0, ekman_drag=1.0e-6))
-        spec = model.spectral.to_spectral(_states(model, 4, seed=3))
-        np.testing.assert_array_equal(
-            model.step_spectral(spec), slow_reference.sqg_step(model, spec)
-        )
-
-    def test_multistep_trajectory_identical(self, slow_reference):
-        params = SQGParameters(nx=16, ny=16, dt=1800.0)
-        fused = SQGModel(params)
-        reference = slow_reference.sqg_model(params)
-        ens = np.stack(
-            [fused.flatten(fused.random_initial_condition(rng=i)) for i in range(5)]
-        )
-        np.testing.assert_array_equal(
-            fused.forecast(ens, n_steps=6), reference.forecast(ens, n_steps=6)
         )
 
     def test_fused_false_routes_through_reference(self):
@@ -125,10 +119,8 @@ class TestFusedStepInvariants:
         stepped = model.step(theta, n_steps=5)
         assert abs(stepped.mean()) < 1e-8
 
-    def test_cfl_unchanged_by_fusion(self, model, slow_reference):
+    def test_cfl_in_stable_range(self, model):
         theta = model.step(_states(model, 0, seed=9), n_steps=50)
-        reference = slow_reference.sqg_model(model.params)
-        assert model.cfl_number(theta) == reference.cfl_number(theta)
         assert 0.0 < model.cfl_number(theta) < 1.0
 
 
@@ -182,46 +174,7 @@ class TestBackendRegression:
             m_np.forecast(ens, n_steps=5), m_sp.forecast(ens, n_steps=5)
         )
 
-    @pytest.mark.skipif(
-        "scipy" not in available_backends(), reason="scipy not installed"
-    )
-    def test_backends_identical_reference_path_too(self, slow_reference):
-        params = SQGParameters(nx=16, ny=16, dt=1800.0)
-        m_np = slow_reference.sqg_model(params, backend="numpy")
-        m_sp = slow_reference.sqg_model(params, backend="scipy")
-        spec = m_np.spectral.to_spectral(_states(m_np, 2, seed=13))
-        np.testing.assert_array_equal(
-            m_np.step_spectral(spec), m_sp.step_spectral(spec)
-        )
-
-
 class TestFusedOSSEParity:
-    """The DA layer must be unable to tell the fused engine from the oracle."""
-
-    def test_letkf_osse_rmse_identical(self, slow_reference):
-        params = SQGParameters(nx=16, ny=16, dt=1800.0)
-        results = {}
-        for name, model in {
-            "fused": SQGModel(params),
-            "reference": slow_reference.sqg_model(params),
-        }.items():
-            truth0 = model.flatten(model.step(_states(model, 0, seed=14), n_steps=20))
-            letkf = LETKF(
-                model.params.grid,
-                LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6)),
-            )
-            operator = IdentityObservation(model.state_size, 1.0)
-            config = OSSEConfig(n_cycles=3, steps_per_cycle=2, ensemble_size=6, seed=5)
-            results[name] = run_osse(
-                model, model, letkf, operator, truth0, config, label=name
-            )
-        np.testing.assert_array_equal(
-            results["fused"].analysis_rmse, results["reference"].analysis_rmse
-        )
-        np.testing.assert_array_equal(
-            results["fused"].analysis_mean_final, results["reference"].analysis_mean_final
-        )
-
     def test_free_run_records_timing_breakdown(self):
         params = SQGParameters(nx=16, ny=16, dt=1800.0)
         model = SQGModel(params)

@@ -499,9 +499,12 @@ class TestParallelAnalysis:
         filt = EnSF(EnSFConfig(n_sde_steps=6), rng=0)
         return filt, ensemble, observation, operator
 
-    def test_ensf_executor_worker_count_invariant(self):
-        """n_workers ∈ {1, 2, 4} must produce bit-identical analyses."""
+    def test_ensf_executor_worker_count_invariant(self, array_backend):
+        """n_workers ∈ {1, 2, 4} must produce bit-identical analyses — under
+        every array backend (the member-seeded draws are host-stream by
+        contract, so the backend must never move them)."""
         filt, ensemble, observation, operator = self._ensf_case()
+        assert filt.sampler.xp is array_backend
         results = []
         for n_workers in (1, 2, 4):
             with EnsembleExecutor(n_workers=n_workers, min_members_per_worker=1) as ex:
