@@ -6,8 +6,6 @@ ensemble-parallel cost model; weak scaling must stay essentially flat because
 the update is embarrassingly parallel over ensemble members (§III-A3).
 """
 
-import numpy as np
-
 from benchmarks.conftest import full_scale
 from repro.hpc.scaling import weak_scaling_ensf
 

@@ -12,8 +12,9 @@ Record layout (see :mod:`repro.utils.timing` for the generic format)::
       "forecast_step": {grid, members, reference_s, optimized_s, speedup,
                         max_coeff_delta},          # headline 64x64, M=20 step
       "forecast_step_cases": [ ...per batch size... ],
-      "osse_parity": {grid, cycles, members, analysis_rmse_delta,
-                      final_state_delta},          # fused vs reference OSSE
+      "engine_overhead": {grid, cycles, members, legacy_s, engine_s,
+                          overhead_pct, analysis_rmse_delta,
+                          final_state_delta},      # CycleEngine vs inlined loop
       "osse_128": {grid, cycles, members, timing breakdown per section},
       "speedup_note": "..."                        # single-core context
     }
@@ -102,35 +103,92 @@ def _bench_step_case(members):
     }
 
 
-def _bench_osse_parity():
-    """Short LETKF OSSE, fused vs reference engine: RMSE series must match."""
+def _legacy_inlined_osse(truth_model, forecast_model, filter_, operator, truth0, config):
+    """The pre-engine inlined OSSE loop (PR 4), minus timing instrumentation.
+
+    Kept verbatim as the baseline for the CycleEngine overhead record: same
+    named rng streams, same per-cycle operation order, so the engine-backed
+    :func:`run_osse` must match it bit for bit while adding <2 % wall time.
+    (The old ``osse_parity`` entry compared against the retired
+    ``fused=False`` reference forecast engine — a redundant oracle call site
+    once the per-step oracle test certifies bit-identity; see ROADMAP
+    "reference-path retirement".)
+    """
+    from repro.core.filters import ensemble_statistics
+    from repro.da.cycling import _initial_ensemble, rmse
+    from repro.models.base import propagate_ensemble
+    from repro.models.model_error import StochasticModelErrorMixture
+    from repro.utils.random import SeedSequenceFactory
+
+    seeds = SeedSequenceFactory(config.seed)
+    rng_obs = seeds.rng("observations")
+    rng_init = seeds.rng("initial-ensemble")
+    model_error = (
+        StochasticModelErrorMixture(rng=seeds.rng("model-error"))
+        if config.apply_model_error_to_truth
+        else None
+    )
+    truth = np.array(truth0, dtype=float)
+    ensemble = _initial_ensemble(
+        truth_model, truth, config.ensemble_size, config.steps_per_cycle, rng_init
+    )
+    analysis_rmse = np.zeros(config.n_cycles)
+    for cycle in range(config.n_cycles):
+        truth = truth_model.forecast(truth, n_steps=config.steps_per_cycle)
+        if model_error is not None:
+            truth = model_error.perturb(truth)
+        ensemble = propagate_ensemble(
+            forecast_model, ensemble, n_steps=config.steps_per_cycle
+        )
+        observation = operator.observe(truth, rng=rng_obs)
+        ensemble = filter_.analyze_parallel(ensemble, observation, operator)
+        stats = ensemble_statistics(ensemble)
+        analysis_rmse[cycle] = rmse(stats.mean, truth)
+    return analysis_rmse, ensemble_statistics(ensemble).mean
+
+
+def _bench_engine_overhead():
+    """CycleEngine-backed run_osse vs the inlined loop: parity + overhead."""
     params = SQGParameters(nx=32, ny=32, dt=1200.0)
-    results = {}
-    for name, model in {
-        "fused": SQGModel(params),
-        "reference": SQGModel(params, fused=False),
-    }.items():
-        truth0 = model.flatten(
-            model.step(model.random_initial_condition(rng=7, amplitude=3.0), n_steps=50)
-        )
-        letkf = LETKF(
-            params.grid, LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6))
-        )
-        operator = IdentityObservation(model.state_size, 1.0)
-        config = OSSEConfig(n_cycles=5, steps_per_cycle=4, ensemble_size=N_MEMBERS, seed=3)
-        results[name] = run_osse(model, model, letkf, operator, truth0, config, label=name)
-    fused, reference = results["fused"], results["reference"]
+    model = SQGModel(params)
+    truth0 = model.flatten(
+        model.step(model.random_initial_condition(rng=7, amplitude=3.0), n_steps=50)
+    )
+    letkf = LETKF(
+        params.grid, LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6))
+    )
+    operator = IdentityObservation(model.state_size, 1.0)
+    config = OSSEConfig(n_cycles=5, steps_per_cycle=4, ensemble_size=N_MEMBERS, seed=3)
+
+    def legacy():
+        return _legacy_inlined_osse(model, model, letkf, operator, truth0, config)
+
+    def engine():
+        return run_osse(model, model, letkf, operator, truth0, config, label="engine")
+
+    legacy()  # warm the LETKF geometry cache and FFT workspaces for both paths
+    t_legacy, (legacy_rmse, legacy_mean) = best_of(legacy, repeats=3)
+    t_engine, engine_result = best_of(engine, repeats=3)
+
     return {
         "grid": [params.nx, params.ny],
-        "cycles": int(len(fused.times)),
+        "cycles": config.n_cycles,
         "members": N_MEMBERS,
+        "legacy_s": t_legacy,
+        "engine_s": t_engine,
+        "overhead_pct": (t_engine / t_legacy - 1.0) * 100.0,
         "analysis_rmse_delta": float(
-            np.abs(fused.analysis_rmse - reference.analysis_rmse).max()
+            np.abs(engine_result.analysis_rmse - legacy_rmse).max()
         ),
         "final_state_delta": float(
-            np.abs(fused.analysis_mean_final - reference.analysis_mean_final).max()
+            np.abs(engine_result.analysis_mean_final - legacy_mean).max()
         ),
-        "mean_analysis_rmse": fused.mean_analysis_rmse,
+        "mean_analysis_rmse": engine_result.mean_analysis_rmse,
+        "note": (
+            "engine-backed run_osse vs the pre-refactor inlined loop on the "
+            "same 32x32 LETKF OSSE; the stage pipeline must stay bit-identical "
+            "and add <2% wall time"
+        ),
     }
 
 
@@ -177,7 +235,7 @@ def forecast_record():
     for row in cases:
         recorder.add("step_reference", row["reference_s"])
         recorder.add("step_fused", row["optimized_s"])
-    parity = _bench_osse_parity()
+    overhead = _bench_engine_overhead()
     paper = _bench_osse_paper_scale()
     from repro.utils.xp import default_backend_name
 
@@ -188,7 +246,7 @@ def forecast_record():
         array_backend=default_backend_name(),
         forecast_step=headline,
         forecast_step_cases=cases,
-        osse_parity=parity,
+        engine_overhead=overhead,
         osse_128=paper,
         speedup_note=SPEEDUP_NOTE,
     )
@@ -213,11 +271,23 @@ def test_step_speedup_and_exactness(forecast_record, report):
     assert forecast_record["forecast_step"]["members"] == N_MEMBERS
 
 
-def test_osse_parity_exact(forecast_record, report):
-    row = forecast_record["osse_parity"]
-    report("Fused vs reference OSSE (LETKF)", [f"{k}: {v}" for k, v in row.items()])
+def test_engine_overhead_and_parity(forecast_record, report):
+    row = forecast_record["engine_overhead"]
+    report(
+        "CycleEngine vs inlined OSSE loop (LETKF 32x32)",
+        [
+            f"legacy {row['legacy_s']:.3f} s -> engine {row['engine_s']:.3f} s "
+            f"({row['overhead_pct']:+.2f}%)",
+            f"analysis_rmse_delta: {row['analysis_rmse_delta']}",
+            f"final_state_delta: {row['final_state_delta']}",
+        ],
+    )
     assert row["analysis_rmse_delta"] == 0.0
     assert row["final_state_delta"] == 0.0
+    # The recorded baseline documents the honest measurement (about -2.5%,
+    # i.e. within noise of zero); the gate tolerates single-core scheduler
+    # noise on this sub-second case rather than re-asserting the exact 2%.
+    assert row["overhead_pct"] < 5.0
 
 
 def test_paper_scale_osse_recorded(forecast_record, report):
@@ -237,4 +307,4 @@ def test_record_written(forecast_record):
     payload = json.loads(RECORD_PATH.read_text())
     assert payload["benchmark"] == "forecast-engine"
     assert payload["forecast_step"]["max_coeff_delta"] == 0.0
-    assert payload["osse_parity"]["analysis_rmse_delta"] == 0.0
+    assert payload["engine_overhead"]["analysis_rmse_delta"] == 0.0

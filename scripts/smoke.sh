@@ -13,16 +13,20 @@
 #   4. The BENCH_*.json perf baselines must keep their documented schema
 #      (required keys present, speedup notes non-empty) so they cannot
 #      silently rot between benchmark refreshes.
-#   5. The tier-1 suite itself must pass; --durations=10 surfaces creeping
+#   5. The streaming cycle engine must run a degraded observation scenario
+#      (dropout + rotating partial coverage) end to end, and a
+#      checkpoint/kill/resume round-trip must land on a bit-identical final
+#      analysis mean (the restartable-300-cycle-run contract).
+#   6. The tier-1 suite itself must pass; --durations=10 surfaces creeping
 #      slow tests.
-# Usage: scripts/smoke.sh [extra pytest args for step 5]
+# Usage: scripts/smoke.sh [extra pytest args for step 6]
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== smoke 1/5: collection with scipy blocked (numpy-only install) =="
+echo "== smoke 1/6: collection with scipy blocked (numpy-only install) =="
 python - <<'EOF'
 import sys
 
@@ -52,10 +56,10 @@ if rc != 0:
 print("collection OK without scipy")
 EOF
 
-echo "== smoke 2/5: parallel-analysis worker invariance (n_workers=2 pool) =="
+echo "== smoke 2/6: parallel-analysis worker invariance (n_workers=2 pool) =="
 python -m pytest -x -q tests/unit/test_hpc.py::TestParallelAnalysis
 
-echo "== smoke 3/5: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
+echo "== smoke 3/6: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
 # Prove the env-var resolution path itself in a fresh process (the
 # backend-parametrized fixture clears the env var to control its own
 # selection, so this assertion is the part the suite below cannot cover).
@@ -73,7 +77,7 @@ REPRO_ARRAY_BACKEND=mock-device python -m pytest -x -q \
     tests/unit/test_xp_backend.py tests/unit/test_kernels.py \
     tests/unit/test_forecast_kernels.py
 
-echo "== smoke 4/5: BENCH_*.json schema sanity =="
+echo "== smoke 4/6: BENCH_*.json schema sanity =="
 python - <<'EOF'
 import json
 
@@ -85,9 +89,9 @@ SPECS = {
     ),
     "BENCH_forecast.json": dict(
         required=["benchmark", "created_unix", "sections", "fft_backend",
-                  "forecast_step", "forecast_step_cases", "osse_parity",
+                  "forecast_step", "forecast_step_cases", "engine_overhead",
                   "osse_128", "speedup_note"],
-        notes=[("speedup_note",)],
+        notes=[("speedup_note",), ("engine_overhead", "note")],
     ),
 }
 for path, spec in SPECS.items():
@@ -107,5 +111,52 @@ for path, spec in SPECS.items():
 print("BENCH schema OK")
 EOF
 
-echo "== smoke 5/5: tier-1 suite with --durations=10 =="
+echo "== smoke 5/6: streaming scenario end-to-end + checkpoint/kill/resume =="
+python - <<'EOF'
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core.observations import IdentityObservation, ObservationScenario, coverage_windows
+from repro.da.cycling import OSSEConfig, run_osse
+from repro.core.ensf import EnSF, EnSFConfig
+from repro.models.lorenz96 import Lorenz96
+from repro.workflow.engine import EngineCheckpoint
+
+DIM = 40
+model = Lorenz96(dim=DIM)
+truth0 = model.spinup(300, rng=0)
+operator = IdentityObservation(DIM, obs_error_var=0.5)
+config = OSSEConfig(n_cycles=10, steps_per_cycle=4, ensemble_size=10, seed=17)
+# Degraded streaming network: rotating half-domain coverage windows, each
+# scheduled measurement lost with 30% probability.
+scenario = ObservationScenario(
+    name="dropout+partial",
+    dropout=0.3,
+    operators=coverage_windows(DIM, 2, obs_error_var=0.5),
+)
+
+def run(**kwargs):
+    return run_osse(
+        model, model, EnSF(EnSFConfig(n_sde_steps=10), rng=1), operator,
+        truth0, config, scenario=scenario, **kwargs,
+    )
+
+with tempfile.TemporaryDirectory() as tmp:
+    path = os.path.join(tmp, "engine.ckpt")
+    # checkpoint_every=7 over 10 cycles => exactly one rolling write, at
+    # cycle 7, mid-stream.
+    full = run(checkpoint_every=7, checkpoint_path=path)
+    assert np.isfinite(full.analysis_rmse).all()
+    ckpt = EngineCheckpoint.load(path)
+    assert ckpt.next_cycle == 7, ckpt.next_cycle
+    # "Kill" at cycle 7: fresh driver + filter objects resume from disk.
+    resumed = run(resume=path)
+assert np.array_equal(resumed.analysis_mean_final, full.analysis_mean_final)
+assert np.array_equal(resumed.analysis_rmse, full.analysis_rmse)
+print("scenario run OK; checkpoint/kill/resume bit-identical")
+EOF
+
+echo "== smoke 6/6: tier-1 suite with --durations=10 =="
 exec python -m pytest -x -q --durations=10 "$@"

@@ -28,6 +28,10 @@ from repro.core.observations import (
     LinearObservation,
     SubsampledObservation,
     NonlinearObservation,
+    ObservationScenario,
+    ObservationEvent,
+    ObservationStream,
+    coverage_windows,
 )
 from repro.core.filters import EnsembleFilter, relax_spread, ensemble_statistics
 from repro.core.ensf import EnSF, EnSFConfig
@@ -46,6 +50,10 @@ __all__ = [
     "LinearObservation",
     "SubsampledObservation",
     "NonlinearObservation",
+    "ObservationScenario",
+    "ObservationEvent",
+    "ObservationStream",
+    "coverage_windows",
     "EnsembleFilter",
     "relax_spread",
     "ensemble_statistics",

@@ -1,15 +1,28 @@
-"""Observation operators and observation-error models (Eq. 2).
+"""Observation operators, observation-error models (Eq. 2) and the
+streaming observation subsystem.
 
 All filters in this library (EnSF, LETKF, EnKF) interact with observations
 through :class:`ObservationOperator`, which bundles the forward map
 ``h_k(x)``, its adjoint action (needed by the EnSF likelihood score and by
 the Kalman-gain algebra), and the Gaussian observation-error covariance
 ``R_k`` (assumed diagonal, as in the paper where ``R = I``).
+
+The *streaming* layer (:class:`ObservationScenario`,
+:class:`ObservationStream`) sits on top of the operators: a scenario
+describes the per-cycle observation protocol of a real-time network —
+observations every ``k``-th cycle, random message loss (dropout), arrival
+latency that defers an observation to a later analysis, and alternating
+multi-operator networks (e.g. rotating partial-coverage windows built with
+:func:`coverage_windows`) — and a stream instantiates it as a reproducible
+sequence of :class:`ObservationEvent`\\ s for the cycle engine
+(:mod:`repro.workflow.engine`).
 """
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,6 +34,10 @@ __all__ = [
     "LinearObservation",
     "SubsampledObservation",
     "NonlinearObservation",
+    "ObservationScenario",
+    "ObservationEvent",
+    "ObservationStream",
+    "coverage_windows",
 ]
 
 
@@ -193,3 +210,201 @@ class NonlinearObservation(ObservationOperator):
         out = np.zeros(np.broadcast_shapes(state.shape[:-1], obs_vector.shape[:-1]) + (self.state_dim,))
         out[..., self.indices] = jac_diag * obs_vector
         return out
+
+
+# --------------------------------------------------------------------------- #
+# Streaming observation subsystem
+# --------------------------------------------------------------------------- #
+
+
+def coverage_windows(
+    state_dim: int, n_windows: int, obs_error_var: float | np.ndarray = 1.0
+) -> tuple[SubsampledObservation, ...]:
+    """Partition the state into ``n_windows`` contiguous coverage windows.
+
+    Returns one :class:`SubsampledObservation` per window; used with
+    :class:`ObservationScenario` multi-operator alternation this models a
+    scanning instrument that only sees part of the domain each cycle (every
+    state variable is revisited once per ``n_windows`` scheduled cycles).
+    """
+    if n_windows < 1 or n_windows > state_dim:
+        raise ValueError("n_windows must lie in [1, state_dim]")
+    edges = np.linspace(0, state_dim, n_windows + 1).astype(int)
+    return tuple(
+        SubsampledObservation(state_dim, np.arange(lo, hi), obs_error_var)
+        for lo, hi in zip(edges[:-1], edges[1:])
+    )
+
+
+@dataclass(frozen=True)
+class ObservationScenario:
+    """Per-cycle observation protocol of a (possibly degraded) network.
+
+    The default scenario — one observation of the configured operator at
+    every cycle, never lost, never late — reproduces the paper's idealized
+    OSSE protocol exactly (the cycling drivers are bit-identical to their
+    pre-scenario behaviour under it).
+
+    Attributes
+    ----------
+    every:
+        Measure only on cycles with ``(cycle - start) % every == 0``
+        (``every = 1``: every cycle).
+    dropout:
+        Probability that a scheduled measurement is lost before it reaches
+        the analysis (drawn from the stream's dedicated schedule rng, so the
+        observation-noise stream is untouched by the schedule).
+    latency:
+        Number of cycles between the measurement and its availability to the
+        analysis; a latent observation is assimilated — against the newer
+        forecast — at the first analysis time ``>= cycle + latency``.
+    start:
+        First cycle eligible for a measurement.
+    operators:
+        Alternating observation-operator network: scheduled cycle ``j`` uses
+        ``operators[j % len(operators)]`` (e.g. rotating coverage windows
+        from :func:`coverage_windows`).  Empty = the driver's default
+        operator.
+    name:
+        Label recorded in diagnostics.
+    """
+
+    name: str = "full"
+    every: int = 1
+    dropout: float = 0.0
+    latency: int = 0
+    start: int = 0
+    operators: tuple[ObservationOperator, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("every must be at least 1")
+        if not 0.0 <= self.dropout <= 1.0:
+            raise ValueError("dropout must lie in [0, 1]")
+        if self.latency < 0 or self.start < 0:
+            raise ValueError("latency and start must be non-negative")
+        object.__setattr__(self, "operators", tuple(self.operators))
+
+    @property
+    def is_idealized(self) -> bool:
+        """True for the paper's protocol (full obs, every cycle, on time)."""
+        return (
+            self.every == 1
+            and self.dropout == 0.0
+            and self.latency == 0
+            and self.start == 0
+            and not self.operators
+        )
+
+    def scheduled(self, cycle: int) -> bool:
+        """Is a measurement scheduled at ``cycle``?"""
+        return cycle >= self.start and (cycle - self.start) % self.every == 0
+
+    def operator_index(self, cycle: int, n_operators: int) -> int:
+        """Index of the network operator used at scheduled ``cycle``."""
+        return ((cycle - self.start) // self.every) % n_operators
+
+
+@dataclass
+class ObservationEvent:
+    """One measurement: taken at ``cycle``, usable from ``available_at`` on."""
+
+    cycle: int
+    available_at: int
+    operator_index: int
+    operator: ObservationOperator
+    observation: np.ndarray
+
+
+class ObservationStream:
+    """Reproducible per-cycle stream of observation events for one scenario.
+
+    Parameters
+    ----------
+    operators:
+        A single operator or the scenario's alternating network.  When the
+        scenario itself carries ``operators`` they take precedence.
+    scenario:
+        The protocol; ``None`` means the idealized default.
+    rng:
+        Observation-noise stream (generator or seed).  Under the idealized
+        scenario the draws are identical, cycle for cycle, to the historical
+        ``operator.observe(truth, rng=rng_obs)`` loop — which is what keeps
+        the engine-backed drivers bit-identical to their predecessors.
+    schedule_rng:
+        Separate stream for dropout decisions, so degrading the schedule
+        never shifts the noise realisations of the measurements that survive
+        their own cycle's draw.
+    """
+
+    def __init__(
+        self,
+        operators: ObservationOperator | tuple[ObservationOperator, ...] | list,
+        scenario: ObservationScenario | None = None,
+        rng: np.random.Generator | int | None = None,
+        schedule_rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.scenario = scenario or ObservationScenario()
+        if isinstance(operators, ObservationOperator):
+            operators = (operators,)
+        if self.scenario.operators:
+            operators = self.scenario.operators
+        self.operators = tuple(operators)
+        if not self.operators:
+            raise ValueError("an observation stream needs at least one operator")
+        if len({op.state_dim for op in self.operators}) != 1:
+            raise ValueError("all network operators must share one state_dim")
+        self.rng = default_rng(rng)
+        self.schedule_rng = default_rng(schedule_rng)
+        self._pending: list[ObservationEvent] = []
+
+    # -- per-cycle protocol ------------------------------------------------ #
+    def measure(self, cycle: int, truth: np.ndarray) -> ObservationEvent | None:
+        """Take this cycle's measurement (if scheduled and not dropped)."""
+        scenario = self.scenario
+        if not scenario.scheduled(cycle):
+            return None
+        if scenario.dropout > 0.0 and self.schedule_rng.random() < scenario.dropout:
+            return None
+        index = scenario.operator_index(cycle, len(self.operators))
+        operator = self.operators[index]
+        event = ObservationEvent(
+            cycle=cycle,
+            available_at=cycle + scenario.latency,
+            operator_index=index,
+            operator=operator,
+            observation=operator.observe(truth, rng=self.rng),
+        )
+        self._pending.append(event)
+        return event
+
+    def deliver(self, cycle: int) -> list[ObservationEvent]:
+        """Pop every pending event that has arrived by ``cycle`` (in order)."""
+        ready = [e for e in self._pending if e.available_at <= cycle]
+        self._pending = [e for e in self._pending if e.available_at > cycle]
+        return ready
+
+    def advance(self, cycle: int, truth: np.ndarray) -> list[ObservationEvent]:
+        """Measure at ``cycle`` and return everything deliverable there."""
+        self.measure(cycle, truth)
+        return self.deliver(cycle)
+
+    @property
+    def pending(self) -> tuple[ObservationEvent, ...]:
+        """Measurements still in flight (scheduled but not yet delivered)."""
+        return tuple(self._pending)
+
+    # -- checkpointing ----------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Serializable stream state (rng states + in-flight events)."""
+        return {
+            "rng": copy.deepcopy(self.rng.bit_generator.state),
+            "schedule_rng": copy.deepcopy(self.schedule_rng.bit_generator.state),
+            "pending": copy.deepcopy(self._pending),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact resume)."""
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])
+        self.schedule_rng.bit_generator.state = copy.deepcopy(state["schedule_rng"])
+        self._pending = copy.deepcopy(state["pending"])

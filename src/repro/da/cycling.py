@@ -6,22 +6,41 @@ the DA system faces an imperfect model), synthetic observations generated
 every analysis interval, and sequential prediction/update cycling of any
 :class:`~repro.core.filters.EnsembleFilter`.  It also supports free runs (no
 data assimilation) for the "SQG only" and "ViT only" curves of Fig. 4.
+
+Both drivers are thin wrappers over the unified
+:class:`~repro.workflow.engine.CycleEngine` (they configure its stage
+pipeline and map the engine result back onto :class:`CyclingResult`); under
+the default idealized observation protocol they are bit-identical to the
+historical inlined loops.  :func:`run_osse` additionally accepts an
+:class:`~repro.core.observations.ObservationScenario` (sparse / lossy /
+latent / multi-operator networks) and engine checkpointing knobs for
+restartable paper-scale runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.filters import EnsembleFilter, ensemble_statistics
-from repro.core.observations import ObservationOperator
-from repro.models.base import ForecastModel, propagate_ensemble
+from repro.core.filters import EnsembleFilter
+from repro.core.observations import ObservationOperator, ObservationScenario, ObservationStream
+from repro.models.base import ForecastModel
 from repro.models.model_error import StochasticModelErrorMixture
 from repro.utils.random import SeedSequenceFactory
 from repro.utils.timing import BenchRecorder
+from repro.workflow.engine import (
+    CycleEngine,
+    DeterministicForecastStage,
+    EngineCheckpoint,
+    EnsembleForecastStage,
+    FilterAnalysisStage,
+    ObservationStage,
+    TruthStage,
+    rmse,
+)
 
-__all__ = ["OSSEConfig", "CyclingResult", "run_osse", "free_run"]
+__all__ = ["OSSEConfig", "CyclingResult", "run_osse", "free_run", "rmse"]
 
 
 @dataclass(frozen=True)
@@ -98,13 +117,6 @@ class CyclingResult:
         return out
 
 
-def rmse(a: np.ndarray, b: np.ndarray) -> float:
-    """Root-mean-square difference between two flattened states."""
-    a = np.asarray(a, dtype=float)
-    b = np.asarray(b, dtype=float)
-    return float(np.sqrt(np.mean((a - b) ** 2)))
-
-
 def _initial_ensemble(
     truth_model: ForecastModel,
     truth0: np.ndarray,
@@ -142,6 +154,10 @@ def run_osse(
     label: str | None = None,
     store_history: bool = False,
     recorder: BenchRecorder | None = None,
+    scenario: ObservationScenario | None = None,
+    resume: EngineCheckpoint | str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
 ) -> CyclingResult:
     """Run one cycling DA experiment.
 
@@ -186,6 +202,19 @@ def run_osse(
         ``CyclingResult.timing``; pass an existing recorder to aggregate
         several runs (each result's ``timing`` still covers only its own
         cycles).
+    scenario:
+        Optional :class:`~repro.core.observations.ObservationScenario`
+        degrading the idealized protocol (obs every k-th cycle, dropout,
+        latency, alternating partial-coverage operator networks — scenario
+        operators override ``operator``).  ``None`` or the default scenario
+        reproduce the historical behaviour bit-identically.
+    resume:
+        :class:`~repro.workflow.engine.EngineCheckpoint` (or a path to one)
+        from an earlier run with the same configuration; cycling continues
+        at its ``next_cycle`` until ``config.n_cycles``, bit-identically to
+        the uninterrupted run.  ``truth0``/``initial_ensemble`` are ignored.
+    checkpoint_every, checkpoint_path:
+        Write a rolling engine checkpoint after every so-many cycles.
     """
     seeds = SeedSequenceFactory(config.seed)
     rng_obs = seeds.rng("observations")
@@ -193,66 +222,61 @@ def run_osse(
     if model_error is None and config.apply_model_error_to_truth:
         model_error = StochasticModelErrorMixture(rng=seeds.rng("model-error"))
 
-    truth = np.array(truth0, dtype=float)
-    if initial_ensemble is None:
-        ensemble = _initial_ensemble(
-            truth_model, truth, config.ensemble_size, config.steps_per_cycle, rng_init
-        )
-    else:
-        ensemble = np.array(initial_ensemble, dtype=float)
-        if ensemble.shape[0] != config.ensemble_size:
-            raise ValueError("initial ensemble size does not match config.ensemble_size")
-
-    times = np.arange(1, config.n_cycles + 1, dtype=float)
-    forecast_rmse = np.zeros(config.n_cycles)
-    analysis_rmse = np.zeros(config.n_cycles)
-    analysis_spread = np.zeros(config.n_cycles)
-    history = [] if store_history else None
-
-    if recorder is None:
-        recorder = BenchRecorder()
-    recorder_start = recorder.snapshot()
-
-    for cycle in range(config.n_cycles):
-        # --- truth evolution (perfect physics + unknown model error) -------
-        with recorder.section("truth"):
-            truth = truth_model.forecast(truth, n_steps=config.steps_per_cycle)
-            if model_error is not None and config.apply_model_error_to_truth:
-                truth = model_error.perturb(truth)
-
-        # --- ensemble forecast ---------------------------------------------
-        with recorder.section("forecast"):
-            ensemble = propagate_ensemble(
-                forecast_model, ensemble, n_steps=config.steps_per_cycle, executor=executor
+    truth = ensemble = None
+    if resume is None:
+        truth = np.array(truth0, dtype=float)
+        if initial_ensemble is None:
+            ensemble = _initial_ensemble(
+                truth_model, truth, config.ensemble_size, config.steps_per_cycle, rng_init
             )
-        stats_f = ensemble_statistics(ensemble)
-        forecast_rmse[cycle] = rmse(stats_f.mean, truth)
+        else:
+            ensemble = np.array(initial_ensemble, dtype=float)
+            if ensemble.shape[0] != config.ensemble_size:
+                raise ValueError("initial ensemble size does not match config.ensemble_size")
 
-        # --- observation and analysis ---------------------------------------
-        if filter_ is not None:
-            observation = operator.observe(truth, rng=rng_obs)
-            with recorder.section("analysis"):
-                ensemble = filter_.analyze_parallel(
-                    ensemble, observation, operator, executor=executor
-                )
+    observations = analysis = None
+    if filter_ is not None:
+        stream = ObservationStream(
+            operator,
+            scenario,
+            rng=rng_obs,
+            schedule_rng=seeds.rng("observation-schedule"),
+        )
+        observations = ObservationStage(stream)
+        analysis = FilterAnalysisStage(filter_)
 
-        stats_a = ensemble_statistics(ensemble)
-        analysis_rmse[cycle] = rmse(stats_a.mean, truth)
-        analysis_spread[cycle] = stats_a.mean_spread
-        if store_history:
-            history.append(stats_a.mean.copy())
+    engine = CycleEngine(
+        truth=TruthStage(
+            truth_model,
+            config.steps_per_cycle,
+            model_error if config.apply_model_error_to_truth else None,
+        ),
+        observations=observations,
+        forecast=EnsembleForecastStage(forecast_model, config.steps_per_cycle),
+        analysis=analysis,
+        executor=executor,
+        recorder=recorder,
+        store_history=store_history,
+    )
+    result = engine.run(
+        truth,
+        ensemble,
+        config.n_cycles,
+        resume=resume,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
 
-    stats_final = ensemble_statistics(ensemble)
     return CyclingResult(
-        times=times,
-        forecast_rmse=forecast_rmse,
-        analysis_rmse=analysis_rmse,
-        analysis_spread=analysis_spread,
-        truth_final=truth,
-        analysis_mean_final=stats_final.mean,
+        times=np.arange(1, config.n_cycles + 1, dtype=float),
+        forecast_rmse=result.forecast_rmse,
+        analysis_rmse=result.analysis_rmse,
+        analysis_spread=result.analysis_spread,
+        truth_final=result.truth_final,
+        analysis_mean_final=result.mean_final,
         label=label or (filter_.name if filter_ is not None else "free-run"),
-        analysis_mean_history=np.array(history) if store_history else None,
-        timing=recorder.report(since=recorder_start),
+        analysis_mean_history=result.history,
+        timing=result.timing,
     )
 
 
@@ -274,42 +298,30 @@ def free_run(
     wall times are recorded (there is no ``"analysis"`` section), so the
     benchmark harness can attribute free-run cost with the same breakdown.
     """
-    cfg = OSSEConfig(
-        n_cycles=config.n_cycles,
-        steps_per_cycle=config.steps_per_cycle,
-        ensemble_size=2,
-        seed=config.seed,
-        apply_model_error_to_truth=config.apply_model_error_to_truth,
-    )
-    seeds = SeedSequenceFactory(cfg.seed)
-    if model_error is None and cfg.apply_model_error_to_truth:
+    seeds = SeedSequenceFactory(config.seed)
+    if model_error is None and config.apply_model_error_to_truth:
         model_error = StochasticModelErrorMixture(rng=seeds.rng("model-error"))
 
+    engine = CycleEngine(
+        truth=TruthStage(
+            truth_model,
+            config.steps_per_cycle,
+            model_error if config.apply_model_error_to_truth else None,
+        ),
+        forecast=DeterministicForecastStage(forecast_model, config.steps_per_cycle),
+        recorder=recorder,
+    )
     truth = np.array(truth0, dtype=float)
     prediction = np.array(truth0, dtype=float)
-    times = np.arange(1, cfg.n_cycles + 1, dtype=float)
-    run_rmse = np.zeros(cfg.n_cycles)
-
-    if recorder is None:
-        recorder = BenchRecorder()
-    recorder_start = recorder.snapshot()
-
-    for cycle in range(cfg.n_cycles):
-        with recorder.section("truth"):
-            truth = truth_model.forecast(truth, n_steps=cfg.steps_per_cycle)
-            if model_error is not None and cfg.apply_model_error_to_truth:
-                truth = model_error.perturb(truth)
-        with recorder.section("forecast"):
-            prediction = forecast_model.forecast(prediction, n_steps=cfg.steps_per_cycle)
-        run_rmse[cycle] = rmse(prediction, truth)
+    result = engine.run(truth, prediction, config.n_cycles)
 
     return CyclingResult(
-        times=times,
-        forecast_rmse=run_rmse,
-        analysis_rmse=run_rmse.copy(),
-        analysis_spread=np.zeros(cfg.n_cycles),
-        truth_final=truth,
-        analysis_mean_final=prediction,
+        times=np.arange(1, config.n_cycles + 1, dtype=float),
+        forecast_rmse=result.forecast_rmse,
+        analysis_rmse=result.analysis_rmse.copy(),
+        analysis_spread=np.zeros(config.n_cycles),
+        truth_final=result.truth_final,
+        analysis_mean_final=result.state_final,
         label=label,
-        timing=recorder.report(since=recorder_start),
+        timing=result.timing,
     )

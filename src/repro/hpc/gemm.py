@@ -21,8 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.hpc.topology import GPUSpec
 from repro.surrogate.flops import vit_layer_flops
 from repro.surrogate.vit import ViTConfig

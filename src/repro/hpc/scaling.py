@@ -14,8 +14,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.ensf import EnSF, EnSFConfig
 from repro.core.observations import IdentityObservation
 from repro.hpc.collectives import CollectiveKind, CollectiveModel

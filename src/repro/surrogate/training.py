@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.models.base import ForecastModel
 from repro.surrogate.optim import Adam, clip_gradients
-from repro.surrogate.vit import SQGViTSurrogate, StateNormalizer, ViTConfig, VisionTransformer
+from repro.surrogate.vit import SQGViTSurrogate, StateNormalizer, VisionTransformer
 from repro.utils.random import default_rng
 
 __all__ = ["TrainingConfig", "TrajectoryDataset", "OfflineTrainer", "OnlineTrainer"]

@@ -8,7 +8,7 @@ grid points, which on a periodic domain means the minimum-image convention.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

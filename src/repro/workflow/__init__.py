@@ -1,22 +1,47 @@
-"""End-to-end real-time data-assimilation workflow (Fig. 1 of the paper)."""
+"""End-to-end real-time data-assimilation workflow (Fig. 1 of the paper).
 
-from repro.workflow.config import ExperimentConfig
-from repro.workflow.metrics import rmse_series, pattern_correlation, error_field
-from repro.workflow.experiments import (
-    FourWayComparison,
-    run_four_experiments,
-    build_sqg_testbed,
-)
-from repro.workflow.realtime import RealTimeDAWorkflow, WorkflowTimings
+Attribute access is lazy (PEP 562): the cycling drivers in
+:mod:`repro.da.cycling` import the engine from this package, while
+:mod:`repro.workflow.experiments` imports those drivers back — resolving
+exports on first access keeps that dependency loop acyclic at import time.
+"""
 
-__all__ = [
-    "ExperimentConfig",
-    "rmse_series",
-    "pattern_correlation",
-    "error_field",
-    "FourWayComparison",
-    "run_four_experiments",
-    "build_sqg_testbed",
-    "RealTimeDAWorkflow",
-    "WorkflowTimings",
-]
+import importlib
+
+_EXPORTS = {
+    "ExperimentConfig": "repro.workflow.config",
+    "rmse_series": "repro.workflow.metrics",
+    "pattern_correlation": "repro.workflow.metrics",
+    "error_field": "repro.workflow.metrics",
+    "FourWayComparison": "repro.workflow.experiments",
+    "run_four_experiments": "repro.workflow.experiments",
+    "build_sqg_testbed": "repro.workflow.experiments",
+    "RealTimeDAWorkflow": "repro.workflow.realtime",
+    "WorkflowTimings": "repro.workflow.realtime",
+    "CycleEngine": "repro.workflow.engine",
+    "CycleRecord": "repro.workflow.engine",
+    "CycleContext": "repro.workflow.engine",
+    "EngineResult": "repro.workflow.engine",
+    "EngineCheckpoint": "repro.workflow.engine",
+    "TruthStage": "repro.workflow.engine",
+    "ObservationStage": "repro.workflow.engine",
+    "EnsembleForecastStage": "repro.workflow.engine",
+    "DeterministicForecastStage": "repro.workflow.engine",
+    "FilterAnalysisStage": "repro.workflow.engine",
+    "EnSFWorkflowAnalysisStage": "repro.workflow.engine",
+    "OnlineTrainingStage": "repro.workflow.engine",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.core.observations import ObservationScenario
 from repro.models.sqg import SQGParameters
 
 __all__ = ["ExperimentConfig"]
@@ -43,6 +44,12 @@ class ExperimentConfig:
         and both analysis algorithms; ``None`` defers to the
         ``REPRO_ARRAY_BACKEND`` process default.  The numpy backend is
         bit-identical, so this is a hardware knob, not a numerics knob.
+    obs_every, obs_dropout, obs_latency:
+        Streaming observation-network protocol applied to the DA
+        experiments (see :meth:`observation_scenario`): observe only every
+        k-th cycle, lose each scheduled observation with this probability,
+        and delay its arrival by this many cycles.  The defaults reproduce
+        the paper's idealized every-cycle protocol bit-identically.
     seed:
         Root seed for all stochastic streams.
     """
@@ -67,6 +74,9 @@ class ExperimentConfig:
     letkf_rtps: float = 0.3
     ensf_sde_steps: int = 100
     array_backend: str | None = None
+    obs_every: int = 1
+    obs_dropout: float = 0.0
+    obs_latency: int = 0
     seed: int = 1234
 
     def __post_init__(self) -> None:
@@ -76,6 +86,8 @@ class ExperimentConfig:
             raise ValueError("ensemble_size must be at least 2")
         if self.nx % self.surrogate_patch or self.ny % self.surrogate_patch:
             raise ValueError("grid size must be divisible by the surrogate patch size")
+        # Delegates range validation of the observation knobs.
+        self.observation_scenario()
 
     @classmethod
     def paper_scale(cls) -> "ExperimentConfig":
@@ -116,3 +128,12 @@ class ExperimentConfig:
     def sqg_parameters(self) -> SQGParameters:
         """SQG model parameters for this experiment."""
         return SQGParameters(nx=self.nx, ny=self.ny)
+
+    def observation_scenario(self) -> ObservationScenario:
+        """Observation protocol for the DA experiments (idealized by default)."""
+        return ObservationScenario(
+            name="config",
+            every=self.obs_every,
+            dropout=self.obs_dropout,
+            latency=self.obs_latency,
+        )

@@ -1,0 +1,632 @@
+"""Unified streaming cycle engine behind every cycling workflow.
+
+The paper's Fig. 1 loop — truth → observe → forecast → analyze →
+(online-train) → diagnose — used to be hand-rolled three times
+(:func:`repro.da.cycling.run_osse`, :func:`~repro.da.cycling.free_run` and
+:meth:`repro.workflow.realtime.RealTimeDAWorkflow.run`), each hard-coding
+the idealized protocol of one identity observation per cycle.
+:class:`CycleEngine` owns that loop once, as a pipeline of pluggable stages:
+
+``truth``
+    :class:`TruthStage` — hidden-truth evolution plus the stochastic
+    model-error mixture.
+``observations``
+    :class:`ObservationStage` — a scenario-driven
+    :class:`~repro.core.observations.ObservationStream` (obs every k-th
+    cycle, dropout, latency, alternating partial-coverage networks); omitted
+    for free runs.
+``forecast``
+    :class:`EnsembleForecastStage` (member-parallel through an
+    :class:`~repro.hpc.ensemble_parallel.EnsembleExecutor`) or
+    :class:`DeterministicForecastStage` (single trajectory, the "SQG only" /
+    "ViT only" free-run curves).
+``analysis``
+    :class:`FilterAnalysisStage` (any
+    :class:`~repro.core.filters.EnsembleFilter`, routed through
+    ``analyze_parallel`` so column-sharded LETKF analyses reuse the
+    executor) or :class:`EnSFWorkflowAnalysisStage` (the real-time
+    workflow's member-seeded executor path).
+``post_analysis``
+    :class:`OnlineTrainingStage` — per-cycle surrogate fine-tuning.
+
+All stages consume named rng streams only, so the engine-backed drivers are
+*bit-identical* to the historical inlined loops (certified by the golden
+equivalence suite in ``tests/unit/test_engine.py``).  The engine also
+checkpoints: :meth:`CycleEngine.checkpoint` serializes truth/ensemble state,
+per-stage rng streams and in-flight observations, and
+:meth:`CycleEngine.run` resumes from a checkpoint bit-identically — which is
+what makes paper-scale 300-cycle runs restartable.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.filters import EnsembleStatistics, ensemble_statistics, relax_spread
+from repro.core.observations import ObservationEvent, ObservationStream
+from repro.models.base import propagate_ensemble
+from repro.utils.random import SeedSequenceFactory
+from repro.utils.timing import BenchRecorder
+
+__all__ = [
+    "rmse",
+    "CycleRecord",
+    "CycleContext",
+    "EngineResult",
+    "EngineCheckpoint",
+    "TruthStage",
+    "ObservationStage",
+    "EnsembleForecastStage",
+    "DeterministicForecastStage",
+    "FilterAnalysisStage",
+    "EnSFWorkflowAnalysisStage",
+    "OnlineTrainingStage",
+    "CycleEngine",
+]
+
+
+def rmse(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square difference between two flattened states."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def _rng_state(rng) -> dict | None:
+    """Serializable bit-generator state of ``rng`` (``None`` when absent)."""
+    if isinstance(rng, np.random.Generator):
+        return copy.deepcopy(rng.bit_generator.state)
+    return None
+
+
+def _load_rng_state(rng, state: dict | None) -> None:
+    if state is None:
+        return
+    if not isinstance(rng, np.random.Generator):
+        raise ValueError("checkpoint carries an rng state but the stage has no rng")
+    rng.bit_generator.state = copy.deepcopy(state)
+
+
+@dataclass
+class CycleRecord:
+    """Diagnostics of one completed cycle."""
+
+    cycle: int
+    forecast_rmse: float
+    analysis_rmse: float
+    analysis_spread: float
+    observed: bool
+    online_loss: float | None = None
+
+
+@dataclass
+class CycleContext:
+    """Mutable per-cycle state handed through the stage pipeline."""
+
+    cycle: int
+    recorder: BenchRecorder
+    executor: object | None
+    truth: np.ndarray
+    state: np.ndarray
+    events: list[ObservationEvent] = field(default_factory=list)
+    forecast_mean: np.ndarray | None = None
+    analysis_stats: EnsembleStatistics | None = None
+    online_loss: float | None = None
+
+
+@dataclass
+class EngineResult:
+    """Full-run diagnostics (resumed runs include the pre-checkpoint cycles)."""
+
+    records: list[CycleRecord]
+    truth_final: np.ndarray
+    state_final: np.ndarray
+    mean_final: np.ndarray
+    history: np.ndarray | None
+    timing: dict
+
+    def series(self, name: str) -> np.ndarray:
+        """Per-cycle series of one :class:`CycleRecord` field."""
+        return np.array([getattr(r, name) for r in self.records], dtype=float)
+
+    @property
+    def forecast_rmse(self) -> np.ndarray:
+        return self.series("forecast_rmse")
+
+    @property
+    def analysis_rmse(self) -> np.ndarray:
+        return self.series("analysis_rmse")
+
+    @property
+    def analysis_spread(self) -> np.ndarray:
+        return self.series("analysis_spread")
+
+
+@dataclass
+class EngineCheckpoint:
+    """Everything needed to resume a cycling run bit-identically.
+
+    ``stage_state`` maps pipeline-slot names to the owning stage's
+    :meth:`state_dict` (rng bit-generator states, in-flight observation
+    events, the online trainer's previous analysis mean).  Loading a
+    checkpoint into an engine with a different slot layout — or whose
+    ``fingerprint`` (stage classes, steps per cycle, observation-scenario
+    parameters, model/filter types) drifted from the checkpointing engine —
+    is refused, since a silently-accepted mismatch would void the
+    bit-identical-resume contract.  The fingerprint is a drift tripwire,
+    not a proof: numerical knobs it cannot see (e.g. a filter's SDE step
+    count) remain the caller's responsibility.
+    """
+
+    next_cycle: int
+    truth: np.ndarray
+    state: np.ndarray
+    records: list[CycleRecord]
+    history: list[np.ndarray] | None
+    stage_state: dict[str, dict]
+    fingerprint: dict[str, dict]
+
+    def save(self, path) -> None:
+        """Pickle the checkpoint to ``path``."""
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh)
+
+    @classmethod
+    def load(cls, path) -> "EngineCheckpoint":
+        """Load a checkpoint written by :meth:`save`."""
+        with open(path, "rb") as fh:
+            ckpt = pickle.load(fh)
+        if not isinstance(ckpt, cls):
+            raise ValueError(f"{path!r} does not contain an EngineCheckpoint")
+        return ckpt
+
+
+# --------------------------------------------------------------------------- #
+# Pipeline stages
+# --------------------------------------------------------------------------- #
+
+
+class TruthStage:
+    """Hidden-truth evolution: physics model plus unknown model error."""
+
+    def __init__(self, model, steps_per_cycle: int, model_error=None) -> None:
+        self.model = model
+        self.steps_per_cycle = int(steps_per_cycle)
+        self.model_error = model_error
+
+    def run(self, ctx: CycleContext) -> None:
+        with ctx.recorder.section("truth"):
+            ctx.truth = self.model.forecast(ctx.truth, n_steps=self.steps_per_cycle)
+            if self.model_error is not None:
+                ctx.truth = self.model_error.perturb(ctx.truth)
+
+    def state_dict(self) -> dict:
+        if self.model_error is None:
+            return {}
+        return {"model_error_rng": _rng_state(getattr(self.model_error, "rng", None))}
+
+    def load_state_dict(self, state: dict) -> None:
+        if self.model_error is not None:
+            _load_rng_state(self.model_error.rng, state.get("model_error_rng"))
+
+
+class ObservationStage:
+    """Measure and deliver this cycle's observation events from the stream."""
+
+    def __init__(self, stream: ObservationStream) -> None:
+        self.stream = stream
+
+    def run(self, ctx: CycleContext) -> None:
+        ctx.events = self.stream.advance(ctx.cycle, ctx.truth)
+
+    def state_dict(self) -> dict:
+        return self.stream.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self.stream.load_state_dict(state)
+
+
+class EnsembleForecastStage:
+    """Member-parallel ensemble forecast to the next analysis time."""
+
+    def __init__(self, model, steps_per_cycle: int) -> None:
+        self.model = model
+        self.steps_per_cycle = int(steps_per_cycle)
+
+    def run(self, ctx: CycleContext) -> None:
+        with ctx.recorder.section("forecast"):
+            ctx.state = propagate_ensemble(
+                self.model, ctx.state, n_steps=self.steps_per_cycle, executor=ctx.executor
+            )
+        ctx.forecast_mean = ctx.state.mean(axis=0)
+
+    def statistics(self, state: np.ndarray) -> EnsembleStatistics:
+        return ensemble_statistics(state)
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+
+class DeterministicForecastStage:
+    """Single-trajectory forecast (free runs: the Fig. 4 no-DA curves)."""
+
+    def __init__(self, model, steps_per_cycle: int) -> None:
+        self.model = model
+        self.steps_per_cycle = int(steps_per_cycle)
+
+    def run(self, ctx: CycleContext) -> None:
+        with ctx.recorder.section("forecast"):
+            ctx.state = self.model.forecast(ctx.state, n_steps=self.steps_per_cycle)
+        ctx.forecast_mean = ctx.state
+
+    def statistics(self, state: np.ndarray) -> EnsembleStatistics:
+        return EnsembleStatistics(mean=state, spread=np.zeros_like(state))
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+
+class FilterAnalysisStage:
+    """Analysis through any :class:`~repro.core.filters.EnsembleFilter`.
+
+    Routed through ``analyze_parallel`` so filters with an intra-analysis
+    decomposition (the LETKF's column-sharded solve stage) reuse the
+    engine's executor; filters without one fall back to their serial
+    ``analyze``.
+    """
+
+    def __init__(self, filter_) -> None:
+        self.filter = filter_
+
+    def analyze(self, ctx: CycleContext, event: ObservationEvent) -> np.ndarray:
+        return self.filter.analyze_parallel(
+            ctx.state, event.observation, event.operator, executor=ctx.executor
+        )
+
+    def state_dict(self) -> dict:
+        return {"filter_rng": _rng_state(getattr(self.filter, "rng", None))}
+
+    def load_state_dict(self, state: dict) -> None:
+        rng_state = state.get("filter_rng")
+        if rng_state is not None:
+            _load_rng_state(getattr(self.filter, "rng", None), rng_state)
+
+
+class EnSFWorkflowAnalysisStage:
+    """The real-time workflow's EnSF analysis semantics.
+
+    Serial runs use the filter's own rng (``EnSF.analyze``); with an
+    executor the analysis is member-seeded through
+    :meth:`~repro.hpc.ensemble_parallel.EnsembleExecutor.analyze_ensf`, with
+    the per-cycle seed derived from the workflow's root via the named
+    ``"ensf-parallel"`` stream, followed by the global spread relaxation the
+    executor path cannot apply per worker.
+    """
+
+    def __init__(self, ensf, seeds: SeedSequenceFactory, stream_name: str = "ensf-parallel") -> None:
+        self.ensf = ensf
+        self.seeds = seeds
+        self.stream_name = stream_name
+
+    def analyze(self, ctx: CycleContext, event: ObservationEvent) -> np.ndarray:
+        if ctx.executor is None:
+            return self.ensf.analyze(ctx.state, event.observation, event.operator)
+        analysis = ctx.executor.analyze_ensf(
+            self.ensf,
+            ctx.state,
+            event.observation,
+            event.operator,
+            seed=self.seeds.seed_for(self.stream_name, ctx.cycle),
+        )
+        return relax_spread(analysis, ctx.state, factor=self.ensf.config.spread_relaxation)
+
+    def state_dict(self) -> dict:
+        return {"filter_rng": _rng_state(getattr(self.ensf, "rng", None))}
+
+    def load_state_dict(self, state: dict) -> None:
+        rng_state = state.get("filter_rng")
+        if rng_state is not None:
+            _load_rng_state(getattr(self.ensf, "rng", None), rng_state)
+
+
+class OnlineTrainingStage:
+    """Per-cycle surrogate fine-tuning on the newly observed transition.
+
+    Checkpoint note: the stage state carries only the previous analysis mean
+    — the surrogate weights and optimizer moments live in the (shared)
+    surrogate object, so an in-process resume is exact, while a cross-process
+    restart must persist the surrogate alongside the engine checkpoint.
+    """
+
+    def __init__(self, trainer) -> None:
+        self.trainer = trainer
+        self.previous: np.ndarray | None = None
+
+    def prime(self, previous_mean: np.ndarray) -> None:
+        """Set the transition input for the first cycle (initial ensemble mean)."""
+        self.previous = np.asarray(previous_mean, dtype=float)
+
+    def run(self, ctx: CycleContext) -> None:
+        if self.previous is None:
+            raise ValueError("OnlineTrainingStage.prime() must be called before run()")
+        with ctx.recorder.section("online_training"):
+            ctx.online_loss = self.trainer.update(self.previous, ctx.analysis_stats.mean)
+        self.previous = ctx.analysis_stats.mean
+
+    def state_dict(self) -> dict:
+        return {"previous": None if self.previous is None else np.array(self.previous)}
+
+    def load_state_dict(self, state: dict) -> None:
+        previous = state.get("previous")
+        self.previous = None if previous is None else np.array(previous)
+
+
+# --------------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------------- #
+
+_SLOTS = ("truth", "observations", "forecast", "analysis", "post_analysis")
+
+
+class CycleEngine:
+    """Run the truth→observe→forecast→analyze→(train)→diagnose loop.
+
+    Parameters
+    ----------
+    truth:
+        :class:`TruthStage`.
+    forecast:
+        :class:`EnsembleForecastStage` or :class:`DeterministicForecastStage`.
+    observations:
+        :class:`ObservationStage` or ``None`` (free runs).
+    analysis:
+        :class:`FilterAnalysisStage` / :class:`EnSFWorkflowAnalysisStage` or
+        ``None``; each delivered observation event triggers one analysis,
+        timed as one ``"analysis"`` recorder section (late arrivals can
+        yield several per cycle, schedule gaps none).
+    post_analysis:
+        :class:`OnlineTrainingStage` or ``None``.
+    executor:
+        Optional :class:`~repro.hpc.ensemble_parallel.EnsembleExecutor`
+        shared by the forecast and analysis stages.
+    recorder:
+        Optional :class:`~repro.utils.timing.BenchRecorder`; results report
+        only the sections recorded by their own :meth:`run` call.
+    store_history:
+        Keep the per-cycle analysis-mean states in the result.
+    on_cycle:
+        Optional callback invoked with each completed :class:`CycleRecord`
+        (the real-time workflow uses it for incremental timing/history).
+    """
+
+    def __init__(
+        self,
+        *,
+        truth: TruthStage,
+        forecast,
+        observations: ObservationStage | None = None,
+        analysis=None,
+        post_analysis: OnlineTrainingStage | None = None,
+        executor=None,
+        recorder: BenchRecorder | None = None,
+        store_history: bool = False,
+        on_cycle=None,
+    ) -> None:
+        self.truth_stage = truth
+        self.forecast_stage = forecast
+        self.observation_stage = observations
+        self.analysis_stage = analysis
+        self.post_analysis_stage = post_analysis
+        self.executor = executor
+        self.recorder = recorder if recorder is not None else BenchRecorder()
+        self.store_history = bool(store_history)
+        self.on_cycle = on_cycle
+        # run state (populated by run()/checkpoint loading)
+        self._truth: np.ndarray | None = None
+        self._state: np.ndarray | None = None
+        self._next_cycle = 0
+        self._records: list[CycleRecord] = []
+        self._history: list[np.ndarray] | None = [] if self.store_history else None
+
+    # -- stage bookkeeping ------------------------------------------------- #
+    def _stages(self) -> dict[str, object]:
+        slots = {
+            "truth": self.truth_stage,
+            "observations": self.observation_stage,
+            "forecast": self.forecast_stage,
+            "analysis": self.analysis_stage,
+            "post_analysis": self.post_analysis_stage,
+        }
+        return {name: stage for name, stage in slots.items() if stage is not None}
+
+    def _fingerprint(self) -> dict[str, dict]:
+        """Structural descriptor of the pipeline, stored with checkpoints.
+
+        Captures what a resuming engine must not have drifted on for the
+        bit-identical contract to be meaningful: stage classes, steps per
+        cycle, the model/filter types and the observation-scenario
+        parameters (schedule, dropout, latency, operator network shape).
+        """
+        fingerprint: dict[str, dict] = {}
+        for name, stage in self._stages().items():
+            desc: dict = {"stage": type(stage).__name__}
+            steps = getattr(stage, "steps_per_cycle", None)
+            if steps is not None:
+                desc["steps_per_cycle"] = int(steps)
+            for attr in ("model", "filter", "ensf"):
+                obj = getattr(stage, attr, None)
+                if obj is not None:
+                    desc[attr] = type(obj).__name__
+            stream = getattr(stage, "stream", None)
+            if stream is not None:
+                scenario = stream.scenario
+                desc["scenario"] = {
+                    "name": scenario.name,
+                    "every": scenario.every,
+                    "dropout": scenario.dropout,
+                    "latency": scenario.latency,
+                    "start": scenario.start,
+                }
+                desc["operators"] = [
+                    (type(op).__name__, op.state_dim, op.obs_dim) for op in stream.operators
+                ]
+            fingerprint[name] = desc
+        return fingerprint
+
+    # -- checkpointing ----------------------------------------------------- #
+    def checkpoint(self) -> EngineCheckpoint:
+        """Snapshot the run state for a bit-identical resume."""
+        if self._truth is None or self._state is None:
+            raise ValueError("nothing to checkpoint: run() has not started")
+        return EngineCheckpoint(
+            next_cycle=self._next_cycle,
+            truth=np.array(self._truth),
+            state=np.array(self._state),
+            records=copy.deepcopy(self._records),
+            history=None if self._history is None else [h.copy() for h in self._history],
+            stage_state={name: stage.state_dict() for name, stage in self._stages().items()},
+            fingerprint=self._fingerprint(),
+        )
+
+    def _load_checkpoint(self, ckpt: EngineCheckpoint) -> None:
+        stages = self._stages()
+        if set(ckpt.stage_state) != set(stages):
+            raise ValueError(
+                f"checkpoint stages {sorted(ckpt.stage_state)} do not match "
+                f"engine stages {sorted(stages)}"
+            )
+        fingerprint = self._fingerprint()
+        if ckpt.fingerprint != fingerprint:
+            drifted = sorted(
+                name
+                for name in fingerprint
+                if ckpt.fingerprint.get(name) != fingerprint[name]
+            )
+            raise ValueError(
+                "checkpoint pipeline fingerprint does not match this engine "
+                f"(drifted slots: {drifted}); resuming would not be "
+                "bit-identical to the checkpointing run"
+            )
+        for name, stage in stages.items():
+            stage.load_state_dict(ckpt.stage_state[name])
+        self._truth = np.array(ckpt.truth)
+        self._state = np.array(ckpt.state)
+        self._next_cycle = int(ckpt.next_cycle)
+        self._records = copy.deepcopy(ckpt.records)
+        if self.store_history:
+            if ckpt.history is None:
+                raise ValueError("checkpoint has no history but store_history is set")
+            self._history = [np.array(h) for h in ckpt.history]
+        else:
+            self._history = None
+
+    # -- the loop ---------------------------------------------------------- #
+    def run(
+        self,
+        truth0: np.ndarray | None = None,
+        state0: np.ndarray | None = None,
+        n_cycles: int | None = None,
+        *,
+        resume: EngineCheckpoint | str | Path | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+    ) -> EngineResult:
+        """Run cycles until ``n_cycles`` total have completed.
+
+        Fresh runs start from ``truth0``/``state0`` at cycle 0; with
+        ``resume`` (a checkpoint or a path to one) the initial states are
+        taken from the checkpoint and cycling continues at its
+        ``next_cycle``.  ``checkpoint_every``/``checkpoint_path`` write a
+        rolling checkpoint after every so-many completed cycles.
+        """
+        if n_cycles is None or n_cycles < 1:
+            raise ValueError("n_cycles must be positive")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        if (checkpoint_every is None) != (checkpoint_path is None):
+            raise ValueError("checkpoint_every and checkpoint_path go together")
+        if resume is not None:
+            if isinstance(resume, (str, Path)):
+                resume = EngineCheckpoint.load(resume)
+            self._load_checkpoint(resume)
+        else:
+            if truth0 is None or state0 is None:
+                raise ValueError("a fresh run needs truth0 and state0")
+            self._truth = np.array(truth0, dtype=float)
+            self._state = np.array(state0, dtype=float)
+            self._next_cycle = 0
+            self._records = []
+            self._history = [] if self.store_history else None
+        start = self._next_cycle
+        if n_cycles <= start:
+            raise ValueError(
+                f"n_cycles={n_cycles} already completed (checkpoint at cycle {start})"
+            )
+
+        recorder = self.recorder
+        timing_snapshot = recorder.snapshot()
+        for cycle in range(start, n_cycles):
+            ctx = CycleContext(
+                cycle=cycle,
+                recorder=recorder,
+                executor=self.executor,
+                truth=self._truth,
+                state=self._state,
+            )
+            self.truth_stage.run(ctx)
+            if self.observation_stage is not None:
+                self.observation_stage.run(ctx)
+            self.forecast_stage.run(ctx)
+            forecast_rmse = rmse(ctx.forecast_mean, ctx.truth)
+
+            observed = False
+            if self.analysis_stage is not None:
+                for event in ctx.events:
+                    with recorder.section("analysis"):
+                        ctx.state = self.analysis_stage.analyze(ctx, event)
+                    observed = True
+
+            stats = self.forecast_stage.statistics(ctx.state)
+            ctx.analysis_stats = stats
+            if self.post_analysis_stage is not None:
+                self.post_analysis_stage.run(ctx)
+
+            record = CycleRecord(
+                cycle=cycle,
+                forecast_rmse=forecast_rmse,
+                analysis_rmse=rmse(stats.mean, ctx.truth),
+                analysis_spread=stats.mean_spread,
+                observed=observed,
+                online_loss=ctx.online_loss,
+            )
+            self._truth = ctx.truth
+            self._state = ctx.state
+            self._records.append(record)
+            if self._history is not None:
+                self._history.append(stats.mean.copy())
+            self._next_cycle = cycle + 1
+            if checkpoint_every is not None and (cycle + 1 - start) % checkpoint_every == 0:
+                self.checkpoint().save(checkpoint_path)
+            if self.on_cycle is not None:
+                self.on_cycle(record)
+
+        stats_final = self.forecast_stage.statistics(self._state)
+        return EngineResult(
+            records=list(self._records),
+            truth_final=self._truth,
+            state_final=self._state,
+            mean_final=stats_final.mean,
+            history=None if self._history is None else np.array(self._history),
+            timing=recorder.report(since=timing_snapshot),
+        )

@@ -11,7 +11,7 @@ Architectures compared over the same truth and observations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -20,7 +20,6 @@ from repro.core.observations import IdentityObservation
 from repro.da.cycling import CyclingResult, OSSEConfig, free_run, run_osse
 from repro.da.letkf import LETKF, LETKFConfig
 from repro.da.localization import LocalizationConfig
-from repro.models.model_error import StochasticModelErrorMixture
 from repro.models.sqg import SQGModel, spinup_sqg
 from repro.surrogate.presets import laptop_preset
 from repro.surrogate.training import OfflineTrainer, TrainingConfig, TrajectoryDataset
@@ -156,6 +155,7 @@ def run_four_experiments(
     results["ViT only"] = free_run(
         testbed.model, surrogate, testbed.truth0, osse, label="ViT only"
     )
+    scenario = config.observation_scenario()
     results["SQG+LETKF"] = run_osse(
         truth_model=testbed.model,
         forecast_model=testbed.model,
@@ -165,6 +165,7 @@ def run_four_experiments(
         config=osse,
         label="SQG+LETKF",
         store_history=store_history,
+        scenario=scenario,
     )
     results["ViT+EnSF"] = run_osse(
         truth_model=testbed.model,
@@ -175,6 +176,7 @@ def run_four_experiments(
         config=osse,
         label="ViT+EnSF",
         store_history=store_history,
+        scenario=scenario,
     )
 
     return FourWayComparison(

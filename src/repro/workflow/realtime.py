@@ -10,24 +10,42 @@ Each analysis cycle performs, in order:
 and records the wall-clock time of each stage.  The paper's central HPC
 observation is that steps 2 and 3 run sequentially every cycle, so the
 workflow time is their sum — which is why both must scale on the machine.
+
+The loop itself lives in the unified
+:class:`~repro.workflow.engine.CycleEngine`; :meth:`RealTimeDAWorkflow.run`
+configures the stage pipeline (surrogate forecast, the executor-aware EnSF
+analysis, online training) and accumulates ``timings``/``history``
+incrementally per cycle, so a run interrupted mid-stream still reports every
+completed cycle.  Each ``run()`` call starts from a clean ``history`` and
+``timings`` (earlier versions leaked history across calls while silently
+overwriting timings).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.ensf import EnSF, EnSFConfig
-from repro.core.filters import ensemble_statistics, relax_spread
-from repro.core.observations import ObservationOperator
-from repro.da.cycling import rmse
+from repro.core.filters import ensemble_statistics
+from repro.core.observations import ObservationScenario, ObservationStream
 from repro.models.base import ForecastModel
 from repro.models.model_error import StochasticModelErrorMixture
 from repro.surrogate.training import OnlineTrainer, TrainingConfig
 from repro.surrogate.vit import SQGViTSurrogate
 from repro.utils.random import SeedSequenceFactory
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import BenchRecorder
+from repro.workflow.engine import (
+    CycleEngine,
+    CycleRecord,
+    EnSFWorkflowAnalysisStage,
+    EnsembleForecastStage,
+    ObservationStage,
+    OnlineTrainingStage,
+    TruthStage,
+    rmse,
+)
 
 __all__ = ["WorkflowTimings", "RealTimeDAWorkflow"]
 
@@ -66,13 +84,9 @@ class WorkflowTimings:
         }
 
 
-@dataclass
-class _CycleRecord:
-    cycle: int
-    forecast_rmse: float
-    analysis_rmse: float
-    analysis_spread: float
-    online_loss: float | None
+# Per-cycle diagnostics are the engine's records; the historical name is kept
+# for callers that annotated against it.
+_CycleRecord = CycleRecord
 
 
 class RealTimeDAWorkflow:
@@ -95,18 +109,24 @@ class RealTimeDAWorkflow:
     executor:
         Optional :class:`repro.hpc.ensemble_parallel.EnsembleExecutor` to run
         forecasts and EnSF member-parallel.
+    scenario:
+        Optional :class:`~repro.core.observations.ObservationScenario`
+        degrading the observation protocol (sparse / lossy / latent /
+        multi-operator streaming networks); ``None`` keeps the idealized
+        one-observation-per-cycle protocol bit-identically.
     """
 
     def __init__(
         self,
         surrogate: SQGViTSurrogate,
         truth_model: ForecastModel,
-        operator: ObservationOperator,
+        operator,
         ensf_config: EnSFConfig | None = None,
         training_config: TrainingConfig | None = None,
         model_error: StochasticModelErrorMixture | None = None,
         executor=None,
         seed: int = 0,
+        scenario: ObservationScenario | None = None,
     ):
         self.surrogate = surrogate
         self.truth_model = truth_model
@@ -121,8 +141,9 @@ class RealTimeDAWorkflow:
         )
         self.model_error = model_error
         self.executor = executor
+        self.scenario = scenario
         self.timings = WorkflowTimings()
-        self.history: list[_CycleRecord] = []
+        self.history: list[CycleRecord] = []
 
     # ------------------------------------------------------------------ #
     def run(
@@ -137,74 +158,48 @@ class RealTimeDAWorkflow:
             raise ValueError("n_cycles and steps_per_cycle must be positive")
         truth = np.array(truth0, dtype=float)
         ensemble = np.array(initial_ensemble, dtype=float)
-        rng_obs = self.seeds.rng("observations")
-        stopwatch = Stopwatch()
-        previous_analysis_mean = ensemble.mean(axis=0)
 
-        for cycle in range(n_cycles):
-            # Hidden truth evolution (physics model + unknown model error).
-            truth = self.truth_model.forecast(truth, n_steps=steps_per_cycle)
-            if self.model_error is not None:
-                truth = self.model_error.perturb(truth)
-            observation = self.operator.observe(truth, rng=rng_obs)
+        # Fresh per-run state, updated incrementally from the engine's
+        # per-cycle callback: an exception mid-run keeps every completed
+        # cycle's timing and history instead of losing the whole run.
+        self.history = []
+        self.timings = WorkflowTimings()
+        recorder = BenchRecorder()
+        timing_snapshot = recorder.snapshot()
 
-            # 1. surrogate ensemble forecast
-            stopwatch.start("forecast")
-            if self.executor is None:
-                forecast = self.surrogate.forecast(ensemble, n_steps=steps_per_cycle)
-            else:
-                forecast = self.executor.map_states(self.surrogate, ensemble, n_steps=steps_per_cycle)
-            stopwatch.stop("forecast")
-            forecast_rmse = rmse(forecast.mean(axis=0), truth)
-
-            # 2. EnSF analysis
-            stopwatch.start("analysis")
-            if self.executor is None:
-                analysis = self.ensf.analyze(forecast, observation, self.operator)
-            else:
-                # Per-cycle seed derived from the workflow's root seed via the
-                # named "ensf-parallel" stream: workflows built with different
-                # seeds draw different analysis noise (seed=cycle alone made
-                # them collide), and reruns of the same workflow reproduce.
-                analysis = self.executor.analyze_ensf(
-                    self.ensf,
-                    forecast,
-                    observation,
-                    self.operator,
-                    seed=self.seeds.seed_for("ensf-parallel", cycle),
-                )
-                analysis = relax_spread(
-                    analysis, forecast, factor=self.ensf.config.spread_relaxation
-                )
-            stopwatch.stop("analysis")
-            stats = ensemble_statistics(analysis)
-
-            # 3. online surrogate adaptation on the newly observed transition
-            online_loss = None
-            if self.online_trainer is not None:
-                stopwatch.start("online_training")
-                online_loss = self.online_trainer.update(previous_analysis_mean, stats.mean)
-                stopwatch.stop("online_training")
-
-            previous_analysis_mean = stats.mean
-            ensemble = analysis
-            self.history.append(
-                _CycleRecord(
-                    cycle=cycle,
-                    forecast_rmse=forecast_rmse,
-                    analysis_rmse=rmse(stats.mean, truth),
-                    analysis_spread=stats.mean_spread,
-                    online_loss=online_loss,
-                )
+        def on_cycle(record: CycleRecord) -> None:
+            report = recorder.report(since=timing_snapshot)
+            self.timings = WorkflowTimings(
+                forecast=report.get("forecast", {}).get("total_s", 0.0),
+                analysis=report.get("analysis", {}).get("total_s", 0.0),
+                online_training=report.get("online_training", {}).get("total_s", 0.0),
+                n_cycles=len(self.history) + 1,
             )
+            self.history.append(record)
 
-        self.timings = WorkflowTimings(
-            forecast=stopwatch.laps.get("forecast", 0.0),
-            analysis=stopwatch.laps.get("analysis", 0.0),
-            online_training=stopwatch.laps.get("online_training", 0.0),
-            n_cycles=n_cycles,
+        stream = ObservationStream(
+            self.operator,
+            self.scenario,
+            rng=self.seeds.rng("observations"),
+            schedule_rng=self.seeds.rng("observation-schedule"),
         )
-        return self.summary(truth, ensemble)
+        post_analysis = None
+        if self.online_trainer is not None:
+            post_analysis = OnlineTrainingStage(self.online_trainer)
+            post_analysis.prime(ensemble.mean(axis=0))
+
+        engine = CycleEngine(
+            truth=TruthStage(self.truth_model, steps_per_cycle, self.model_error),
+            observations=ObservationStage(stream),
+            forecast=EnsembleForecastStage(self.surrogate, steps_per_cycle),
+            analysis=EnSFWorkflowAnalysisStage(self.ensf, self.seeds),
+            post_analysis=post_analysis,
+            executor=self.executor,
+            recorder=recorder,
+            on_cycle=on_cycle,
+        )
+        result = engine.run(truth, ensemble, n_cycles)
+        return self.summary(result.truth_final, result.state_final)
 
     # ------------------------------------------------------------------ #
     def summary(self, truth: np.ndarray, ensemble: np.ndarray) -> dict:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.ensf import EnSF, EnSFConfig
 from repro.core.observations import IdentityObservation, SubsampledObservation
-from repro.da.cycling import CyclingResult, OSSEConfig, free_run, run_osse
+from repro.da.cycling import OSSEConfig, free_run, run_osse
 from repro.da.enkf import EnKFConfig, StochasticEnKF
 from repro.da.inflation import multiplicative_inflation, rtpp_inflation, rtps_inflation
 from repro.da.letkf import LETKF, LETKFConfig

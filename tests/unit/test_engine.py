@@ -1,0 +1,558 @@
+"""Cycle-engine certification suite.
+
+Three layers of coverage for :mod:`repro.workflow.engine`:
+
+* **Golden equivalence** — verbatim copies of the pre-refactor inlined
+  loops (`run_osse`, `free_run`, `RealTimeDAWorkflow.run` as of PR 4) are
+  kept here as oracles, and the engine-backed drivers must reproduce their
+  RMSE/spread trajectories and final states *bit-identically* for seeded
+  LETKF and EnSF configurations, serially and through an ``n_workers=2``
+  executor.
+* **Scenario matrix** — every streaming observation scenario (every-k,
+  dropout, partial coverage, latency, alternating multi-operator network)
+  runs reproducibly through the engine, and sparser schedules degrade the
+  mean analysis RMSE monotonically versus full observation.
+* **Checkpoint/restart** — a run interrupted mid-stream and resumed from an
+  :class:`EngineCheckpoint` (in memory or from disk) is bit-identical to
+  the uninterrupted run, including rng-stream state and in-flight latent
+  observations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ensf import EnSF, EnSFConfig
+from repro.core.filters import ensemble_statistics, relax_spread
+from repro.core.observations import (
+    IdentityObservation,
+    ObservationScenario,
+    coverage_windows,
+)
+from repro.da.cycling import CyclingResult, OSSEConfig, _initial_ensemble, free_run, rmse, run_osse
+from repro.da.letkf import LETKF, LETKFConfig
+from repro.da.localization import LocalizationConfig
+from repro.hpc.ensemble_parallel import EnsembleExecutor
+from repro.models.base import propagate_ensemble
+from repro.models.lorenz96 import Lorenz96
+from repro.models.model_error import StochasticModelErrorMixture
+from repro.utils.grid import Grid2D
+from repro.utils.random import SeedSequenceFactory
+from repro.workflow.engine import EngineCheckpoint
+from repro.workflow.realtime import RealTimeDAWorkflow
+
+DIM = 40
+
+
+# --------------------------------------------------------------------------- #
+# Pre-refactor oracles (verbatim loop semantics of the PR 4 drivers)
+# --------------------------------------------------------------------------- #
+
+
+def _legacy_run_osse(
+    truth_model,
+    forecast_model,
+    filter_,
+    operator,
+    truth0,
+    config,
+    executor=None,
+    store_history=False,
+):
+    """The inlined OSSE loop exactly as it stood before the engine refactor."""
+    seeds = SeedSequenceFactory(config.seed)
+    rng_obs = seeds.rng("observations")
+    rng_init = seeds.rng("initial-ensemble")
+    model_error = (
+        StochasticModelErrorMixture(rng=seeds.rng("model-error"))
+        if config.apply_model_error_to_truth
+        else None
+    )
+    truth = np.array(truth0, dtype=float)
+    ensemble = _initial_ensemble(
+        truth_model, truth, config.ensemble_size, config.steps_per_cycle, rng_init
+    )
+    forecast_rmse = np.zeros(config.n_cycles)
+    analysis_rmse = np.zeros(config.n_cycles)
+    analysis_spread = np.zeros(config.n_cycles)
+    history = []
+    for cycle in range(config.n_cycles):
+        truth = truth_model.forecast(truth, n_steps=config.steps_per_cycle)
+        if model_error is not None:
+            truth = model_error.perturb(truth)
+        ensemble = propagate_ensemble(
+            forecast_model, ensemble, n_steps=config.steps_per_cycle, executor=executor
+        )
+        forecast_rmse[cycle] = rmse(ensemble_statistics(ensemble).mean, truth)
+        if filter_ is not None:
+            observation = operator.observe(truth, rng=rng_obs)
+            ensemble = filter_.analyze_parallel(
+                ensemble, observation, operator, executor=executor
+            )
+        stats_a = ensemble_statistics(ensemble)
+        analysis_rmse[cycle] = rmse(stats_a.mean, truth)
+        analysis_spread[cycle] = stats_a.mean_spread
+        if store_history:
+            history.append(stats_a.mean.copy())
+    return CyclingResult(
+        times=np.arange(1, config.n_cycles + 1, dtype=float),
+        forecast_rmse=forecast_rmse,
+        analysis_rmse=analysis_rmse,
+        analysis_spread=analysis_spread,
+        truth_final=truth,
+        analysis_mean_final=ensemble_statistics(ensemble).mean,
+        analysis_mean_history=np.array(history) if store_history else None,
+    )
+
+
+def _legacy_free_run(truth_model, forecast_model, truth0, config):
+    seeds = SeedSequenceFactory(config.seed)
+    model_error = (
+        StochasticModelErrorMixture(rng=seeds.rng("model-error"))
+        if config.apply_model_error_to_truth
+        else None
+    )
+    truth = np.array(truth0, dtype=float)
+    prediction = np.array(truth0, dtype=float)
+    run_rmse = np.zeros(config.n_cycles)
+    for cycle in range(config.n_cycles):
+        truth = truth_model.forecast(truth, n_steps=config.steps_per_cycle)
+        if model_error is not None:
+            truth = model_error.perturb(truth)
+        prediction = forecast_model.forecast(prediction, n_steps=config.steps_per_cycle)
+        run_rmse[cycle] = rmse(prediction, truth)
+    return run_rmse, truth, prediction
+
+
+def _legacy_realtime_run(
+    surrogate,
+    truth_model,
+    operator,
+    ensf_config,
+    model_error,
+    executor,
+    seed,
+    truth0,
+    initial_ensemble,
+    n_cycles,
+    steps_per_cycle,
+):
+    """The pre-refactor ``RealTimeDAWorkflow.run`` loop (online training off)."""
+    seeds = SeedSequenceFactory(seed)
+    ensf = EnSF(ensf_config, rng=seeds.rng("ensf"))
+    truth = np.array(truth0, dtype=float)
+    ensemble = np.array(initial_ensemble, dtype=float)
+    rng_obs = seeds.rng("observations")
+    forecast_rmse = np.zeros(n_cycles)
+    analysis_rmse = np.zeros(n_cycles)
+    for cycle in range(n_cycles):
+        truth = truth_model.forecast(truth, n_steps=steps_per_cycle)
+        if model_error is not None:
+            truth = model_error.perturb(truth)
+        observation = operator.observe(truth, rng=rng_obs)
+        if executor is None:
+            forecast = surrogate.forecast(ensemble, n_steps=steps_per_cycle)
+        else:
+            forecast = executor.map_states(surrogate, ensemble, n_steps=steps_per_cycle)
+        forecast_rmse[cycle] = rmse(forecast.mean(axis=0), truth)
+        if executor is None:
+            analysis = ensf.analyze(forecast, observation, operator)
+        else:
+            analysis = executor.analyze_ensf(
+                ensf,
+                forecast,
+                observation,
+                operator,
+                seed=seeds.seed_for("ensf-parallel", cycle),
+            )
+            analysis = relax_spread(
+                analysis, forecast, factor=ensf.config.spread_relaxation
+            )
+        stats = ensemble_statistics(analysis)
+        analysis_rmse[cycle] = rmse(stats.mean, truth)
+        ensemble = analysis
+    return forecast_rmse, analysis_rmse, truth, ensemble
+
+
+# --------------------------------------------------------------------------- #
+# Shared fixtures
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    model = Lorenz96(dim=DIM)
+    truth0 = model.spinup(300, rng=0)
+    operator = IdentityObservation(DIM, obs_error_var=0.5)
+    return model, truth0, operator
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with EnsembleExecutor(n_workers=2, min_members_per_worker=1) as executor:
+        yield executor
+
+
+def _letkf():
+    # Lorenz96's 40 variables laid out on a periodic 10x2x2 grid so the
+    # LETKF localization has a geometry; shard_columns exercises the
+    # column-sharded solve stage through the engine's executor plumbing.
+    grid = Grid2D(10, 2, nlev=2)
+    return LETKF(
+        grid,
+        LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6), shard_columns=8),
+    )
+
+
+def _ensf(rng=5):
+    return EnSF(EnSFConfig(n_sde_steps=15), rng=rng)
+
+
+def _assert_identical(result: CyclingResult, oracle: CyclingResult):
+    np.testing.assert_array_equal(result.forecast_rmse, oracle.forecast_rmse)
+    np.testing.assert_array_equal(result.analysis_rmse, oracle.analysis_rmse)
+    np.testing.assert_array_equal(result.analysis_spread, oracle.analysis_spread)
+    np.testing.assert_array_equal(result.truth_final, oracle.truth_final)
+    np.testing.assert_array_equal(result.analysis_mean_final, oracle.analysis_mean_final)
+
+
+class TestGoldenEquivalence:
+    """Engine-backed drivers == pre-refactor inlined loops, bit for bit."""
+
+    CONFIG = OSSEConfig(n_cycles=6, steps_per_cycle=4, ensemble_size=10, seed=3)
+
+    @pytest.mark.parametrize("filter_factory", [_letkf, _ensf], ids=["letkf", "ensf"])
+    def test_run_osse_serial(self, testbed, filter_factory):
+        model, truth0, operator = testbed
+        result = run_osse(
+            model, model, filter_factory(), operator, truth0, self.CONFIG,
+            store_history=True,
+        )
+        oracle = _legacy_run_osse(
+            model, model, filter_factory(), operator, truth0, self.CONFIG,
+            store_history=True,
+        )
+        _assert_identical(result, oracle)
+        np.testing.assert_array_equal(
+            result.analysis_mean_history, oracle.analysis_mean_history
+        )
+
+    @pytest.mark.parametrize("filter_factory", [_letkf, _ensf], ids=["letkf", "ensf"])
+    def test_run_osse_two_worker_executor(self, testbed, pool, filter_factory):
+        model, truth0, operator = testbed
+        result = run_osse(
+            model, model, filter_factory(), operator, truth0, self.CONFIG,
+            executor=pool,
+        )
+        oracle = _legacy_run_osse(
+            model, model, filter_factory(), operator, truth0, self.CONFIG,
+            executor=pool,
+        )
+        _assert_identical(result, oracle)
+
+    def test_run_osse_without_filter(self, testbed):
+        model, truth0, operator = testbed
+        result = run_osse(model, model, None, operator, truth0, self.CONFIG)
+        oracle = _legacy_run_osse(model, model, None, operator, truth0, self.CONFIG)
+        _assert_identical(result, oracle)
+
+    def test_free_run(self, testbed):
+        model, truth0, _ = testbed
+        result = free_run(model, model, truth0, self.CONFIG)
+        run_rmse, truth, prediction = _legacy_free_run(model, model, truth0, self.CONFIG)
+        np.testing.assert_array_equal(result.forecast_rmse, run_rmse)
+        np.testing.assert_array_equal(result.analysis_rmse, run_rmse)
+        np.testing.assert_array_equal(result.truth_final, truth)
+        np.testing.assert_array_equal(result.analysis_mean_final, prediction)
+        assert not result.analysis_spread.any()
+
+    @pytest.mark.parametrize("use_executor", [False, True], ids=["serial", "pool2"])
+    def test_realtime_workflow(self, testbed, pool, use_executor):
+        from repro.surrogate.training import TrainingConfig
+
+        model, truth0, operator = testbed
+        executor = pool if use_executor else None
+        rng = np.random.default_rng(2)
+        ens0 = truth0[None, :] + rng.standard_normal((8, DIM))
+        ensf_config = EnSFConfig(n_sde_steps=12)
+
+        workflow = RealTimeDAWorkflow(
+            surrogate=model,
+            truth_model=model,
+            operator=operator,
+            ensf_config=ensf_config,
+            training_config=TrainingConfig(online_iterations=0),
+            model_error=StochasticModelErrorMixture(rng=7),
+            executor=executor,
+            seed=11,
+        )
+        summary = workflow.run(truth0, ens0, n_cycles=3, steps_per_cycle=2)
+        forecast_rmse, analysis_rmse, truth, ensemble = _legacy_realtime_run(
+            model, model, operator, ensf_config,
+            StochasticModelErrorMixture(rng=7), executor, 11,
+            truth0, ens0, 3, 2,
+        )
+        np.testing.assert_array_equal(summary["forecast_rmse"], forecast_rmse)
+        np.testing.assert_array_equal(summary["analysis_rmse"], analysis_rmse)
+        stats = ensemble_statistics(ensemble)
+        assert summary["final_analysis_rmse"] == rmse(stats.mean, truth)
+        assert summary["final_spread"] == stats.mean_spread
+
+
+# --------------------------------------------------------------------------- #
+# Scenario matrix
+# --------------------------------------------------------------------------- #
+
+
+class TestScenarioMatrix:
+    CONFIG = OSSEConfig(n_cycles=8, steps_per_cycle=4, ensemble_size=10, seed=6)
+
+    def _run(self, testbed, scenario):
+        model, truth0, operator = testbed
+        return run_osse(
+            model, model, _letkf(), operator, truth0, self.CONFIG, scenario=scenario
+        )
+
+    def scenarios(self):
+        return {
+            "every_2": ObservationScenario(name="every_2", every=2),
+            "dropout": ObservationScenario(name="dropout", dropout=0.5),
+            "partial": ObservationScenario(
+                name="partial", operators=coverage_windows(DIM, 2, obs_error_var=0.5)
+            ),
+            "latency": ObservationScenario(name="latency", latency=1),
+            "multi_op": ObservationScenario(
+                name="multi_op",
+                operators=(
+                    IdentityObservation(DIM, obs_error_var=0.5),
+                    coverage_windows(DIM, 2, obs_error_var=0.5)[0],
+                ),
+            ),
+        }
+
+    @pytest.mark.parametrize(
+        "name", ["every_2", "dropout", "partial", "latency", "multi_op"]
+    )
+    def test_each_scenario_runs_and_reproduces(self, testbed, name):
+        scenario = self.scenarios()[name]
+        first = self._run(testbed, scenario)
+        second = self._run(testbed, scenario)
+        assert np.isfinite(first.analysis_rmse).all()
+        _assert_identical(first, second)
+
+    def test_sparser_schedules_degrade_rmse_monotonically(self, testbed):
+        """Fewer analyses => worse (or equal) mean RMSE, monotonically."""
+        means = [
+            self._run(
+                testbed, ObservationScenario(name=f"every_{k}", every=k)
+            ).mean_analysis_rmse
+            for k in (1, 2, 4)
+        ]
+        assert means[0] < means[1] < means[2]
+
+    def test_dropout_degrades_versus_full(self, testbed):
+        full = self._run(testbed, None).mean_analysis_rmse
+        lossy = self._run(
+            testbed, ObservationScenario(name="dropout", dropout=0.5)
+        ).mean_analysis_rmse
+        assert full < lossy
+
+    def test_latency_marks_cycles_observed_late(self, testbed):
+        model, truth0, operator = testbed
+        from repro.workflow.engine import (
+            CycleEngine,
+            EnsembleForecastStage,
+            FilterAnalysisStage,
+            ObservationStage,
+            TruthStage,
+        )
+        from repro.core.observations import ObservationStream
+
+        seeds = SeedSequenceFactory(0)
+        engine = CycleEngine(
+            truth=TruthStage(model, 2),
+            observations=ObservationStage(
+                ObservationStream(
+                    operator,
+                    ObservationScenario(latency=2),
+                    rng=seeds.rng("observations"),
+                    schedule_rng=seeds.rng("observation-schedule"),
+                )
+            ),
+            forecast=EnsembleForecastStage(model, 2),
+            analysis=FilterAnalysisStage(_letkf()),
+        )
+        ens0 = truth0[None, :] + np.random.default_rng(1).standard_normal((6, DIM))
+        result = engine.run(truth0, ens0, 5)
+        assert [r.observed for r in result.records] == [False, False, True, True, True]
+
+
+# --------------------------------------------------------------------------- #
+# Checkpoint / restart
+# --------------------------------------------------------------------------- #
+
+
+class TestCheckpointRestart:
+    CONFIG = OSSEConfig(n_cycles=8, steps_per_cycle=4, ensemble_size=10, seed=9)
+    SCENARIO = ObservationScenario(name="stress", dropout=0.3, latency=1)
+
+    def _run(self, testbed, **kwargs):
+        model, truth0, operator = testbed
+        return run_osse(
+            model, model, _ensf(rng=SeedSequenceFactory(9).rng("filter")), operator,
+            truth0, self.CONFIG, scenario=self.SCENARIO, store_history=True, **kwargs,
+        )
+
+    def test_resume_is_bit_identical(self, testbed, tmp_path):
+        path = tmp_path / "engine.ckpt"
+        uninterrupted = self._run(
+            testbed, checkpoint_every=5, checkpoint_path=path
+        )
+        # "Kill" after the rolling checkpoint at cycle 5: a fresh driver with
+        # fresh filter/stream objects resumes from disk and must land on the
+        # same trajectory, bit for bit.
+        ckpt = EngineCheckpoint.load(path)
+        assert ckpt.next_cycle == 5
+        resumed = self._run(testbed, resume=path)
+        _assert_identical(resumed, uninterrupted)
+        np.testing.assert_array_equal(
+            resumed.analysis_mean_history, uninterrupted.analysis_mean_history
+        )
+
+    def test_checkpoint_rejects_parameter_drift(self, testbed, tmp_path):
+        """A checkpoint resumed under an edited scenario (or steps-per-cycle)
+        must be refused: slot names still match, so only the pipeline
+        fingerprint can catch the drift before it silently voids the
+        bit-identical-resume contract."""
+        model, truth0, operator = testbed
+        path = tmp_path / "engine.ckpt"
+        self._run(testbed, checkpoint_every=5, checkpoint_path=path)
+        drifted = ObservationScenario(name="stress", dropout=0.2, latency=1)
+        with pytest.raises(ValueError, match="fingerprint"):
+            run_osse(
+                model, model, _ensf(), operator, truth0, self.CONFIG,
+                scenario=drifted, store_history=True, resume=path,
+            )
+
+    def test_checkpoint_rejects_stage_mismatch(self, testbed, tmp_path):
+        model, truth0, operator = testbed
+        path = tmp_path / "engine.ckpt"
+        self._run(testbed, checkpoint_every=5, checkpoint_path=path)
+        with pytest.raises(ValueError, match="stages"):
+            # Free-run engine (no observation/analysis slots) must refuse a
+            # DA checkpoint instead of silently resuming the wrong pipeline.
+            from repro.workflow.engine import (
+                CycleEngine,
+                DeterministicForecastStage,
+                TruthStage,
+            )
+
+            CycleEngine(
+                truth=TruthStage(model, 4),
+                forecast=DeterministicForecastStage(model, 4),
+            ).run(resume=path, n_cycles=8)
+
+    def test_run_validation(self, testbed):
+        model, truth0, _ = testbed
+        from repro.workflow.engine import (
+            CycleEngine,
+            DeterministicForecastStage,
+            TruthStage,
+        )
+
+        engine = CycleEngine(
+            truth=TruthStage(model, 1),
+            forecast=DeterministicForecastStage(model, 1),
+        )
+        with pytest.raises(ValueError):
+            engine.run(truth0, truth0, 0)
+        with pytest.raises(ValueError):
+            engine.run(n_cycles=3)  # fresh run without states
+        with pytest.raises(ValueError):
+            engine.run(truth0, truth0, 3, checkpoint_every=2)  # path missing
+        with pytest.raises(ValueError):
+            engine.checkpoint()  # nothing ran yet
+
+
+# --------------------------------------------------------------------------- #
+# Real-time workflow state semantics (regression)
+# --------------------------------------------------------------------------- #
+
+
+class _ExplodingModel:
+    """Forecast model that raises after a set number of forecast calls."""
+
+    def __init__(self, inner, explode_after: int):
+        self.inner = inner
+        self.state_size = inner.state_size
+        self.calls = 0
+        self.explode_after = explode_after
+
+    def forecast(self, state, n_steps=1):
+        self.calls += 1
+        if self.calls > self.explode_after:
+            raise RuntimeError("boom")
+        return self.inner.forecast(state, n_steps=n_steps)
+
+
+class TestRealtimeStateSemantics:
+    def _workflow(self, testbed, surrogate=None):
+        from repro.surrogate.training import TrainingConfig
+
+        model, truth0, operator = testbed
+        workflow = RealTimeDAWorkflow(
+            surrogate=surrogate if surrogate is not None else model,
+            truth_model=model,
+            operator=operator,
+            ensf_config=EnSFConfig(n_sde_steps=8),
+            training_config=TrainingConfig(online_iterations=0),
+            seed=21,
+        )
+        rng = np.random.default_rng(3)
+        ens0 = truth0[None, :] + rng.standard_normal((6, DIM))
+        return workflow, truth0, ens0
+
+    def test_repeated_runs_reset_history_and_timings(self, testbed):
+        """Regression: ``history`` used to accumulate across run() calls
+        while ``timings`` was overwritten, so a second run reported 2N
+        history rows against N-cycle timings."""
+        workflow, truth0, ens0 = self._workflow(testbed)
+        first = workflow.run(truth0, ens0, n_cycles=3, steps_per_cycle=2)
+        assert len(workflow.history) == 3
+        second = workflow.run(truth0, ens0, n_cycles=3, steps_per_cycle=2)
+        assert len(workflow.history) == 3
+        assert workflow.timings.n_cycles == 3
+        assert len(second["analysis_rmse"]) == 3
+        assert len(first["analysis_rmse"]) == 3
+        # a fresh, identically-seeded workflow reproduces the first run
+        fresh, truth0, ens0 = self._workflow(testbed)
+        np.testing.assert_array_equal(
+            first["analysis_rmse"],
+            fresh.run(truth0, ens0, n_cycles=3, steps_per_cycle=2)["analysis_rmse"],
+        )
+
+    def test_exception_mid_run_keeps_completed_cycle_records(self, testbed):
+        """Regression: an exception mid-run used to lose *all* timing (it was
+        only written after the loop); timings/history now accumulate per
+        completed cycle."""
+        model, _, _ = testbed
+        # 2 completed cycles, then the 3rd surrogate forecast explodes.
+        surrogate = _ExplodingModel(model, explode_after=2)
+        workflow, truth0, ens0 = self._workflow(testbed, surrogate=surrogate)
+        with pytest.raises(RuntimeError, match="boom"):
+            workflow.run(truth0, ens0, n_cycles=5, steps_per_cycle=2)
+        assert len(workflow.history) == 2
+        assert workflow.timings.n_cycles == 2
+        assert workflow.timings.forecast > 0.0
+        assert workflow.timings.analysis > 0.0
+
+    def test_fresh_run_after_exception_is_clean(self, testbed):
+        model, _, _ = testbed
+        surrogate = _ExplodingModel(model, explode_after=2)
+        workflow, truth0, ens0 = self._workflow(testbed, surrogate=surrogate)
+        with pytest.raises(RuntimeError):
+            workflow.run(truth0, ens0, n_cycles=5, steps_per_cycle=2)
+        surrogate.explode_after = 10**9
+        summary = workflow.run(truth0, ens0, n_cycles=2, steps_per_cycle=2)
+        assert len(workflow.history) == 2
+        assert workflow.timings.n_cycles == 2
+        assert np.isfinite(summary["final_analysis_rmse"])

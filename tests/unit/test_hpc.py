@@ -5,13 +5,13 @@ import pytest
 
 from repro.hpc.collectives import CollectiveKind, CollectiveModel
 from repro.hpc.comm import LocalCommGroup
-from repro.hpc.ddp import CommEvent, DataParallel, bucketize
+from repro.hpc.ddp import DataParallel, bucketize
 from repro.hpc.ensemble_parallel import EnsembleExecutor, ensemble_slices
 from repro.hpc.fsdp import FSDPParallel
 from repro.hpc.gemm import GEMMPerformanceModel, vit_achieved_tflops
 from repro.hpc.memory import STRATEGY_TABLE, ShardingStrategy, TrainingMemoryModel
 from repro.hpc.scaling import strong_scaling_study, weak_scaling_ensf
-from repro.hpc.topology import FrontierTopology, GPUSpec, NodeSpec
+from repro.hpc.topology import FrontierTopology, GPUSpec
 from repro.hpc.trainer_sim import DistributedTrainingSimulator, TrainingRunConfig
 from repro.hpc.zero import ZeROParallel
 from repro.core.ensf import EnSF, EnSFConfig
