@@ -41,6 +41,7 @@ what makes paper-scale 300-cycle runs restartable.
 from __future__ import annotations
 
 import copy
+import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -172,9 +173,24 @@ class EngineCheckpoint:
     fingerprint: dict[str, dict]
 
     def save(self, path) -> None:
-        """Pickle the checkpoint to ``path``."""
-        with open(path, "wb") as fh:
-            pickle.dump(self, fh)
+        """Pickle the checkpoint to ``path`` crash-consistently.
+
+        The bytes are written to a sibling temporary file, flushed and
+        fsynced, then moved over ``path`` with :func:`os.replace` (atomic on
+        POSIX).  A process killed mid-save therefore leaves either the old
+        checkpoint or the new one — never a truncated file that would poison
+        a later ``resume``.
+        """
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(self, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path) -> "EngineCheckpoint":
