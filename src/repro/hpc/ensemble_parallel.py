@@ -131,11 +131,23 @@ class EnsembleExecutor:
             raise
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (no-op when none is open)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-            self._pool_workers = 0
+        """Shut down the persistent worker pool (no-op when none is open).
+
+        Teardown is deliberately forgiving: ``close()`` may run from
+        ``__del__`` during interpreter shutdown (attributes may never have
+        been assigned if ``__init__`` raised) or against a pool whose workers
+        are already dead, where ``shutdown()`` can raise :class:`OSError`
+        on the broken pipes.  Swallowing those here keeps teardown from
+        masking the real failure a test is about to report.
+        """
+        pool = getattr(self, "_pool", None)
+        self._pool = None
+        self._pool_workers = 0
+        if pool is not None:
+            try:
+                pool.shutdown()
+            except (OSError, RuntimeError):
+                pass  # workers already gone / interpreter shutting down
 
     def __enter__(self) -> "EnsembleExecutor":
         return self
