@@ -17,16 +17,22 @@
 #      (dropout + rotating partial coverage) end to end, and a
 #      checkpoint/kill/resume round-trip must land on a bit-identical final
 #      analysis mean (the restartable-300-cycle-run contract).
-#   6. The tier-1 suite itself must pass; --durations=10 surfaces creeping
+#   6. The fault-tolerant runtime must replay a recorded fault sequence
+#      (worker crash + truncated checkpoint + corrupted obs batch) injected
+#      via REPRO_FAULT_PLAN against unmodified drivers, recover every fault
+#      (visible in the FaultLog), and produce exact-zero RMSE deltas versus
+#      the clean run — including a resume="auto" that walks past the torn
+#      checkpoint.
+#   7. The tier-1 suite itself must pass; --durations=10 surfaces creeping
 #      slow tests.
-# Usage: scripts/smoke.sh [extra pytest args for step 6]
+# Usage: scripts/smoke.sh [extra pytest args for step 7]
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== smoke 1/6: collection with scipy blocked (numpy-only install) =="
+echo "== smoke 1/7: collection with scipy blocked (numpy-only install) =="
 python - <<'EOF'
 import sys
 
@@ -56,10 +62,10 @@ if rc != 0:
 print("collection OK without scipy")
 EOF
 
-echo "== smoke 2/6: parallel-analysis worker invariance (n_workers=2 pool) =="
+echo "== smoke 2/7: parallel-analysis worker invariance (n_workers=2 pool) =="
 python -m pytest -x -q tests/unit/test_hpc.py::TestParallelAnalysis
 
-echo "== smoke 3/6: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
+echo "== smoke 3/7: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
 # Prove the env-var resolution path itself in a fresh process (the
 # backend-parametrized fixture clears the env var to control its own
 # selection, so this assertion is the part the suite below cannot cover).
@@ -77,7 +83,7 @@ REPRO_ARRAY_BACKEND=mock-device python -m pytest -x -q \
     tests/unit/test_xp_backend.py tests/unit/test_kernels.py \
     tests/unit/test_forecast_kernels.py
 
-echo "== smoke 4/6: BENCH_*.json schema sanity =="
+echo "== smoke 4/7: BENCH_*.json schema sanity =="
 python - <<'EOF'
 import json
 
@@ -90,8 +96,9 @@ SPECS = {
     "BENCH_forecast.json": dict(
         required=["benchmark", "created_unix", "sections", "fft_backend",
                   "forecast_step", "forecast_step_cases", "engine_overhead",
-                  "osse_128", "speedup_note"],
-        notes=[("speedup_note",), ("engine_overhead", "note")],
+                  "retry_overhead", "osse_128", "speedup_note"],
+        notes=[("speedup_note",), ("engine_overhead", "note"),
+               ("retry_overhead", "note")],
     ),
 }
 for path, spec in SPECS.items():
@@ -111,7 +118,7 @@ for path, spec in SPECS.items():
 print("BENCH schema OK")
 EOF
 
-echo "== smoke 5/6: streaming scenario end-to-end + checkpoint/kill/resume =="
+echo "== smoke 5/7: streaming scenario end-to-end + checkpoint/kill/resume =="
 python - <<'EOF'
 import os
 import tempfile
@@ -158,5 +165,86 @@ assert np.array_equal(resumed.analysis_rmse, full.analysis_rmse)
 print("scenario run OK; checkpoint/kill/resume bit-identical")
 EOF
 
-echo "== smoke 6/6: tier-1 suite with --durations=10 =="
+echo "== smoke 6/7: recorded fault-sequence replay (REPRO_FAULT_PLAN) =="
+python - <<'EOF'
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core.observations import IdentityObservation, ObservationQC
+from repro.da.cycling import OSSEConfig, run_osse
+from repro.da.letkf import LETKF, LETKFConfig
+from repro.da.localization import LocalizationConfig
+from repro.hpc.ensemble_parallel import EnsembleExecutor
+from repro.models.lorenz96 import Lorenz96
+from repro.utils.faults import ENV_FAULT_PLAN
+from repro.utils.grid import Grid2D
+
+DIM = 40
+model = Lorenz96(dim=DIM)
+truth0 = model.spinup(300, rng=0)
+operator = IdentityObservation(DIM, obs_error_var=0.5)
+config = OSSEConfig(n_cycles=8, steps_per_cycle=4, ensemble_size=10, seed=17)
+
+# The recorded failure sequence: a worker crash at the 4th shard gather, a
+# NaN-corrupted retransmission of the 3rd observation batch, and a torn
+# final checkpoint — injected purely through the environment variable, so
+# the drivers below run completely unmodified.
+FAULT_SEQUENCE = (
+    "worker-crash@executor:3;"
+    "obs-corrupt@observations:2;"
+    "checkpoint-truncate@checkpoint:3"
+)
+
+def letkf():
+    return LETKF(
+        Grid2D(10, 2, nlev=2),
+        LETKFConfig(localization=LocalizationConfig(cutoff=4.0e6), shard_columns=8),
+    )
+
+def run(executor, **kwargs):
+    return run_osse(
+        model, model, letkf(), operator, truth0, config,
+        executor=executor, qc=ObservationQC(), **kwargs,
+    )
+
+with tempfile.TemporaryDirectory() as tmp:
+    base = os.path.join(tmp, "engine.ckpt")
+    os.environ.pop(ENV_FAULT_PLAN, None)
+    with EnsembleExecutor(n_workers=2, min_members_per_worker=1) as ex:
+        clean = run(ex)
+    assert len(clean.fault_log) == 0, clean.fault_log.summary()
+
+    os.environ[ENV_FAULT_PLAN] = FAULT_SEQUENCE
+    with EnsembleExecutor(
+        n_workers=2, min_members_per_worker=1, retry_backoff_s=0.0
+    ) as ex:
+        faulted = run(ex, checkpoint_every=2, checkpoint_path=base, keep_last=3)
+        shard_log = ex.fault_log.summary()
+    run_log = faulted.fault_log.summary()
+    os.environ.pop(ENV_FAULT_PLAN, None)
+
+    # Every injected fault was hit and healed...
+    assert shard_log.get("retry", 0) >= 1, shard_log
+    assert shard_log.get("pool-rebuild", 0) >= 1, shard_log
+    assert run_log.get("obs-corrupt") == 1, run_log
+    assert run_log.get("qc-reject") == 1, run_log
+    assert run_log.get("checkpoint-truncate") == 1, run_log
+    # ...with exact-zero deltas versus the clean run.
+    assert np.array_equal(faulted.analysis_rmse, clean.analysis_rmse)
+    assert np.array_equal(faulted.forecast_rmse, clean.forecast_rmse)
+    assert np.array_equal(faulted.analysis_mean_final, clean.analysis_mean_final)
+
+    # resume="auto" must walk past the torn newest ring member and land on
+    # the same trajectory, bit for bit.
+    resumed = run(
+        None, resume="auto", checkpoint_every=2, checkpoint_path=base, keep_last=3
+    )
+    assert resumed.fault_log.summary().get("checkpoint-fallback") == 1
+    assert np.array_equal(resumed.analysis_rmse, clean.analysis_rmse)
+print("fault replay OK: all recoveries logged, RMSE deltas exactly zero")
+EOF
+
+echo "== smoke 7/7: tier-1 suite with --durations=10 =="
 exec python -m pytest -x -q --durations=10 "$@"

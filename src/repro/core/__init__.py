@@ -31,6 +31,8 @@ from repro.core.observations import (
     ObservationScenario,
     ObservationEvent,
     ObservationStream,
+    ObservationQC,
+    QCReport,
     coverage_windows,
 )
 from repro.core.filters import EnsembleFilter, relax_spread, ensemble_statistics
@@ -53,6 +55,8 @@ __all__ = [
     "ObservationScenario",
     "ObservationEvent",
     "ObservationStream",
+    "ObservationQC",
+    "QCReport",
     "coverage_windows",
     "EnsembleFilter",
     "relax_spread",

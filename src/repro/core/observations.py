@@ -21,11 +21,13 @@ sequence of :class:`ObservationEvent`\\ s for the cycle engine
 from __future__ import annotations
 
 import copy
+import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.utils.faults import FaultLog, FaultPlan
 from repro.utils.random import default_rng
 
 __all__ = [
@@ -37,6 +39,8 @@ __all__ = [
     "ObservationScenario",
     "ObservationEvent",
     "ObservationStream",
+    "ObservationQC",
+    "QCReport",
     "coverage_windows",
 ]
 
@@ -316,6 +320,92 @@ class ObservationEvent:
     observation: np.ndarray
 
 
+@dataclass(frozen=True)
+class QCReport:
+    """Verdict of one :meth:`ObservationQC.check` on one event."""
+
+    ok: bool
+    n_values: int
+    n_bad: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ObservationQC:
+    """Pre-analysis observation quality control.
+
+    Two checks run on every event: a sanity check rejecting non-finite
+    values (NaN/inf — always on, a corrupted packet must never reach a
+    filter), and an optional gross-error check rejecting values whose
+    innovation against the forecast mean exceeds ``gross_threshold``
+    standard deviations of the operator's observation error
+    (``sqrt(obs_error_var)``).  ``per_operator`` overrides the threshold by
+    operator class name (e.g. a laxer bound for ``"NonlinearObservation"``).
+
+    Rejection is per *event*: the event is dropped once more than
+    ``max_bad_fraction`` of its values fail (default 0.0 — one bad value
+    kills the batch, the conservative real-time posture).  With
+    ``gross_threshold=None`` clean observations always pass, so enabling
+    the QC stage does not perturb a fault-free run.
+    """
+
+    gross_threshold: float | None = None
+    per_operator: dict = field(default_factory=dict)
+    max_bad_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gross_threshold is not None and self.gross_threshold <= 0:
+            raise ValueError("gross_threshold must be positive")
+        if not 0.0 <= self.max_bad_fraction <= 1.0:
+            raise ValueError("max_bad_fraction must lie in [0, 1]")
+
+    def threshold_for(self, operator: ObservationOperator) -> float | None:
+        """Gross-error threshold (in σ units) applying to ``operator``."""
+        return self.per_operator.get(type(operator).__name__, self.gross_threshold)
+
+    def check(self, event: ObservationEvent, forecast_mean: np.ndarray | None = None) -> QCReport:
+        """Judge ``event`` against the forecast mean (``None``: finite-only)."""
+        obs = np.asarray(event.observation, dtype=float)
+        bad = ~np.isfinite(obs)
+        threshold = self.threshold_for(event.operator)
+        if threshold is not None and forecast_mean is not None:
+            predicted = event.operator.apply(np.asarray(forecast_mean, dtype=float))
+            sigma = np.sqrt(event.operator.obs_error_var)
+            with np.errstate(invalid="ignore"):
+                bad |= np.abs(obs - predicted) > threshold * sigma
+        n_bad = int(np.count_nonzero(bad))
+        ok = n_bad <= self.max_bad_fraction * obs.size
+        reason = ""
+        if not ok:
+            what = "non-finite" if threshold is None else f"non-finite or >{threshold}σ"
+            reason = (
+                f"cycle-{event.cycle} {type(event.operator).__name__} event: "
+                f"{n_bad}/{obs.size} values {what}"
+            )
+        return QCReport(ok=bool(ok), n_values=int(obs.size), n_bad=n_bad, reason=reason)
+
+
+def _corrupt_observation(observation: np.ndarray, payload: dict) -> np.ndarray:
+    """Deterministically corrupted copy of ``observation`` (no rng draws).
+
+    ``payload["value"]`` picks the garbage (``"nan"`` default, ``"inf"``,
+    or ``"gross"`` — a huge finite offset that only gross-error QC can
+    catch); ``payload["fraction"]`` how much of the vector is hit (leading
+    components, at least one).
+    """
+    corrupted = np.array(observation, dtype=float)
+    fraction = float(payload.get("fraction", 1.0))
+    n_bad = min(corrupted.size, max(1, math.ceil(fraction * corrupted.size)))
+    value = str(payload.get("value", "nan"))
+    if value == "gross":
+        corrupted[:n_bad] += 1.0e6
+    elif value == "inf":
+        corrupted[:n_bad] = np.inf
+    else:
+        corrupted[:n_bad] = np.nan
+    return corrupted
+
+
 class ObservationStream:
     """Reproducible per-cycle stream of observation events for one scenario.
 
@@ -335,6 +425,13 @@ class ObservationStream:
         Separate stream for dropout decisions, so degrading the schedule
         never shifts the noise realisations of the measurements that survive
         their own cycle's draw.
+    fault_plan / fault_log:
+        Deterministic fault injection (see :mod:`repro.utils.faults`); the
+        stream owns the ``"observations"`` site, visited once per
+        measurement actually taken.  Corruption is applied *after* the
+        noise draw and without consuming any rng, so an injected run's
+        surviving measurements are bit-identical to a clean run's.  The
+        plan defaults to ``FaultPlan.from_env()`` (usually unset).
     """
 
     def __init__(
@@ -343,7 +440,11 @@ class ObservationStream:
         scenario: ObservationScenario | None = None,
         rng: np.random.Generator | int | None = None,
         schedule_rng: np.random.Generator | int | None = None,
+        fault_plan: FaultPlan | None = None,
+        fault_log: FaultLog | None = None,
     ) -> None:
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
         self.scenario = scenario or ObservationScenario()
         if isinstance(operators, ObservationOperator):
             operators = (operators,)
@@ -376,7 +477,40 @@ class ObservationStream:
             observation=operator.observe(truth, rng=self.rng),
         )
         self._pending.append(event)
+        if self.fault_plan is not None:
+            self._inject_faults(event)
         return event
+
+    def _inject_faults(self, event: ObservationEvent) -> None:
+        """Fire this measurement's ``"observations"``-site fault events.
+
+        ``"spurious"`` mode (default) queues an *additional* corrupted
+        duplicate of the measurement — the garbage retransmission QC must
+        reject, leaving the genuine event untouched (bit-identical
+        recovery).  ``"in-place"`` corrupts the genuine measurement itself —
+        recoverable only by skipping it (QC) or rewinding past it
+        (reset-from-checkpoint).
+        """
+        for fault in self.fault_plan.visit("observations"):
+            if fault.kind != "obs-corrupt":
+                continue
+            corrupted = _corrupt_observation(event.observation, fault.payload)
+            mode = str(fault.payload.get("mode", "spurious"))
+            if mode == "in-place":
+                event.observation = corrupted
+                detail = f"in-place corruption of cycle-{event.cycle} measurement"
+            else:
+                self._pending.append(
+                    ObservationEvent(
+                        cycle=event.cycle,
+                        available_at=event.available_at,
+                        operator_index=event.operator_index,
+                        operator=event.operator,
+                        observation=corrupted,
+                    )
+                )
+                detail = f"spurious corrupted duplicate of cycle-{event.cycle} measurement"
+            self.fault_log.record("observations", "obs-corrupt", detail, cycle=event.cycle)
 
     def deliver(self, cycle: int) -> list[ObservationEvent]:
         """Pop every pending event that has arrived by ``cycle`` (in order)."""

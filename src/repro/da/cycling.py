@@ -24,14 +24,21 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.filters import EnsembleFilter
-from repro.core.observations import ObservationOperator, ObservationScenario, ObservationStream
+from repro.core.observations import (
+    ObservationOperator,
+    ObservationQC,
+    ObservationScenario,
+    ObservationStream,
+)
 from repro.models.base import ForecastModel
 from repro.models.model_error import StochasticModelErrorMixture
+from repro.utils.faults import FaultLog, FaultPlan
 from repro.utils.random import SeedSequenceFactory
 from repro.utils.timing import BenchRecorder
 from repro.workflow.engine import (
     CycleEngine,
     DeterministicForecastStage,
+    DivergencePolicy,
     EngineCheckpoint,
     EnsembleForecastStage,
     FilterAnalysisStage,
@@ -93,6 +100,7 @@ class CyclingResult:
     label: str = ""
     analysis_mean_history: np.ndarray | None = None
     timing: dict | None = None
+    fault_log: FaultLog | None = None
 
     @property
     def mean_analysis_rmse(self) -> float:
@@ -158,6 +166,12 @@ def run_osse(
     resume: EngineCheckpoint | str | None = None,
     checkpoint_every: int | None = None,
     checkpoint_path=None,
+    keep_last: int | None = None,
+    qc: ObservationQC | None = None,
+    cycle_deadline_s: float | None = None,
+    divergence: DivergencePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    fault_log: FaultLog | None = None,
 ) -> CyclingResult:
     """Run one cycling DA experiment.
 
@@ -212,10 +226,33 @@ def run_osse(
         :class:`~repro.workflow.engine.EngineCheckpoint` (or a path to one)
         from an earlier run with the same configuration; cycling continues
         at its ``next_cycle`` until ``config.n_cycles``, bit-identically to
-        the uninterrupted run.  ``truth0``/``initial_ensemble`` are ignored.
+        the uninterrupted run (``truth0``/``initial_ensemble`` are then
+        ignored).  ``resume="auto"`` resumes from the newest *valid*
+        checkpoint on disk (walking past truncated files) and starts fresh
+        when none exists.
     checkpoint_every, checkpoint_path:
         Write a rolling engine checkpoint after every so-many cycles.
+    keep_last:
+        Keep a rotating :class:`~repro.workflow.engine.CheckpointRing` of
+        the ``k`` newest checkpoints instead of one self-replacing file.
+    qc:
+        Optional :class:`~repro.core.observations.ObservationQC` screening
+        every observation event before its analysis.
+    cycle_deadline_s:
+        Optional per-cycle wall-clock budget; remaining analyses are
+        skipped once exceeded (forecast-only cycle).
+    divergence:
+        Optional :class:`~repro.workflow.engine.DivergencePolicy` (halt /
+        reinflate / reset-from-checkpoint on ensemble blow-up).
+    fault_plan, fault_log:
+        Deterministic fault injection and its recovery log (see
+        :mod:`repro.utils.faults`).  One shared log collects the stream's
+        and engine's recoveries and is returned in
+        ``CyclingResult.fault_log`` (an ``executor`` keeps its own
+        ``executor.fault_log`` for shard-level recoveries).
     """
+    fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    fault_log = fault_log if fault_log is not None else FaultLog()
     seeds = SeedSequenceFactory(config.seed)
     rng_obs = seeds.rng("observations")
     rng_init = seeds.rng("initial-ensemble")
@@ -223,7 +260,7 @@ def run_osse(
         model_error = StochasticModelErrorMixture(rng=seeds.rng("model-error"))
 
     truth = ensemble = None
-    if resume is None:
+    if resume is None or (isinstance(resume, str) and resume == "auto"):
         truth = np.array(truth0, dtype=float)
         if initial_ensemble is None:
             ensemble = _initial_ensemble(
@@ -241,6 +278,8 @@ def run_osse(
             scenario,
             rng=rng_obs,
             schedule_rng=seeds.rng("observation-schedule"),
+            fault_plan=fault_plan,
+            fault_log=fault_log,
         )
         observations = ObservationStage(stream)
         analysis = FilterAnalysisStage(filter_)
@@ -257,6 +296,11 @@ def run_osse(
         executor=executor,
         recorder=recorder,
         store_history=store_history,
+        qc=qc,
+        cycle_deadline_s=cycle_deadline_s,
+        divergence=divergence,
+        fault_plan=fault_plan,
+        fault_log=fault_log,
     )
     result = engine.run(
         truth,
@@ -265,6 +309,7 @@ def run_osse(
         resume=resume,
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_path,
+        keep_last=keep_last,
     )
 
     return CyclingResult(
@@ -277,6 +322,7 @@ def run_osse(
         label=label or (filter_.name if filter_ is not None else "free-run"),
         analysis_mean_history=result.history,
         timing=result.timing,
+        fault_log=fault_log,
     )
 
 

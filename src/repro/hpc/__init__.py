@@ -35,7 +35,7 @@ from repro.hpc.scaling import (
     ScalingPoint,
     EnSFScalingPoint,
 )
-from repro.hpc.ensemble_parallel import EnsembleExecutor, ensemble_slices
+from repro.hpc.ensemble_parallel import EnsembleExecutor, ShardRetryError, ensemble_slices
 
 __all__ = [
     "GPUSpec",
@@ -60,5 +60,6 @@ __all__ = [
     "ScalingPoint",
     "EnSFScalingPoint",
     "EnsembleExecutor",
+    "ShardRetryError",
     "ensemble_slices",
 ]

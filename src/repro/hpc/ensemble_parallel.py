@@ -22,12 +22,41 @@ the columns into fixed-size shards that do not depend on the worker count.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
-__all__ = ["ensemble_slices", "EnsembleExecutor"]
+from repro.utils.faults import FaultInjected, FaultLog, FaultPlan
+
+__all__ = ["ensemble_slices", "EnsembleExecutor", "ShardRetryError"]
+
+# Failures worth recomputing the shard for: a dead worker pool, a shard that
+# blew its deadline, or an injected fault.  Anything else (a ValueError from
+# the job function, say) is a real bug and propagates immediately.
+_RETRYABLE = (BrokenProcessPool, TimeoutError, FaultInjected)
+
+
+class ShardRetryError(RuntimeError):
+    """A shard kept failing after exhausting the executor's retry budget."""
+
+
+def _guarded_call(fn, job, fault, parent_pid: int):
+    """Worker entry point: optionally trigger an injected fault, then run ``fn``.
+
+    ``fault`` is consumed *before* the computation, so a retried shard (the
+    plan only fires each event once) recomputes exactly ``fn(job)`` — which
+    is what makes recovery bit-identical for deterministic shards.
+    """
+    if fault is not None:
+        if fault.kind == "worker-crash":
+            if os.getpid() != parent_pid:
+                os._exit(3)  # hard kill: the pool sees a vanished worker
+            raise FaultInjected("injected worker crash (serial in-process shard)")
+        elif fault.kind == "task-hang":
+            time.sleep(float(fault.payload.get("hang_s", 0.25)))
+    return fn(job)
 
 
 def ensemble_slices(n_members: int, n_workers: int) -> list[slice]:
@@ -89,6 +118,24 @@ class EnsembleExecutor:
         Keep the worker pool alive between calls (default).  ``False``
         restores the tear-down-per-call behaviour.  Use :meth:`close` (or the
         context-manager form) to release workers deterministically.
+    max_retries:
+        How many times a failed shard batch is recomputed before
+        :class:`ShardRetryError`.  Only *infrastructure* failures are
+        retried (dead pool, blown deadline, injected fault) — exceptions
+        raised by the job function itself always propagate.
+    retry_backoff_s:
+        Base of the exponential backoff between retry attempts
+        (``retry_backoff_s * 2**(attempt-1)`` seconds).
+    task_deadline_s:
+        Wall-clock budget for one gather attempt on the pool.  Shards still
+        running when it expires are treated as hung: the pool is terminated,
+        rebuilt, and the shards recomputed (serial in-process shards cannot
+        be interrupted, so the deadline only applies to pool runs).
+    fault_plan / fault_log:
+        Deterministic fault injection (see :mod:`repro.utils.faults`).  The
+        plan defaults to ``FaultPlan.from_env()`` (the ``REPRO_FAULT_PLAN``
+        variable, usually unset); every recovery the executor performs is
+        appended to the log.
     """
 
     def __init__(
@@ -96,14 +143,26 @@ class EnsembleExecutor:
         n_workers: int | None = None,
         min_members_per_worker: int = 4,
         reuse_pool: bool = True,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        task_deadline_s: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        fault_log: FaultLog | None = None,
     ):
         if n_workers is None:
             n_workers = min(8, os.cpu_count() or 1)
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.n_workers = int(n_workers)
         self.min_members_per_worker = int(min_members_per_worker)
         self.reuse_pool = bool(reuse_pool)
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.task_deadline_s = None if task_deadline_s is None else float(task_deadline_s)
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
 
@@ -112,23 +171,142 @@ class EnsembleExecutor:
         by_size = max(1, n_members // self.min_members_per_worker)
         return max(1, min(self.n_workers, by_size))
 
-    def _run_jobs(self, fn, jobs, workers: int) -> list:
-        """Run ``jobs`` on a pool of at least ``workers`` processes."""
+    def _faults_for(self, pending: list[int]) -> dict:
+        """Injected faults for this gather attempt, keyed by job index.
+
+        One ``"executor"`` site visit per attempt — the counter advances
+        identically for serial and pool gathers, so a fault plan hits the
+        same logical shard batch under any worker layout.
+        """
+        if self.fault_plan is None:
+            return {}
+        faults = {}
+        for event in self.fault_plan.visit("executor"):
+            if event.kind in ("worker-crash", "task-hang"):
+                target = pending[int(event.payload.get("job", 0)) % len(pending)]
+                faults[target] = event
+        return faults
+
+    def _acquire_pool(self, workers: int) -> ProcessPoolExecutor:
         if not self.reuse_pool:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, jobs))
+            return ProcessPoolExecutor(max_workers=workers)
         if self._pool is None or self._pool_workers < workers:
             self.close()
             self._pool = ProcessPoolExecutor(max_workers=workers)
             self._pool_workers = workers
+        return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor, hung: bool) -> None:
+        """Drop a broken or hung pool without ever blocking on its workers."""
+        if pool is self._pool:
+            self._pool = None
+            self._pool_workers = 0
+        if hung:
+            # shutdown(wait=False) would leave hung workers running (and
+            # clears the pool's process table); kill them first so they
+            # cannot hold the machine (or pytest) hostage.
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
         try:
-            return list(self._pool.map(fn, jobs))
-        except BrokenProcessPool:
-            # A dead pool would poison every later call; drop it so the next
-            # call builds a fresh one (the per-call behaviour this class
-            # replaced recovered the same way).
-            self.close()
-            raise
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # pool management threads may already be dead
+
+    def _attempt_serial(self, fn, jobs, results, pending, faults):
+        failed, error = [], None
+        for idx in pending:
+            try:
+                results[idx] = _guarded_call(fn, jobs[idx], faults.get(idx), os.getpid())
+            except _RETRYABLE as exc:
+                failed.append(idx)
+                error = exc
+        return failed, error
+
+    def _attempt_pool(self, fn, jobs, results, pending, faults, workers):
+        pool = self._acquire_pool(workers)
+        parent_pid = os.getpid()
+        failed, error = [], None
+        broken = hung = False
+        futures = {}
+        try:
+            for idx in pending:
+                futures[pool.submit(_guarded_call, fn, jobs[idx], faults.get(idx), parent_pid)] = idx
+        except (BrokenProcessPool, RuntimeError) as exc:
+            broken, error = True, exc
+        done, not_done = wait(set(futures), timeout=self.task_deadline_s)
+        for fut in done:
+            idx = futures[fut]
+            exc = fut.exception()
+            if exc is None:
+                results[idx] = fut.result()
+            elif isinstance(exc, _RETRYABLE):
+                failed.append(idx)
+                error = exc
+                broken = broken or isinstance(exc, BrokenProcessPool)
+            else:
+                # A genuine job-function error: not the executor's to heal.
+                if not self.reuse_pool:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                raise exc
+        if not_done:
+            hung = True
+            failed.extend(futures[fut] for fut in not_done)
+            error = TimeoutError(
+                f"{len(not_done)} shard(s) exceeded the {self.task_deadline_s}s task deadline"
+            )
+            self.fault_log.record("executor", "deadline-kill", str(error))
+        submitted = set(futures.values())
+        failed.extend(idx for idx in pending if idx not in submitted)
+        if broken or hung:
+            self._discard_pool(pool, hung=hung)
+            self.fault_log.record(
+                "executor",
+                "pool-rebuild",
+                "terminated hung worker pool" if hung else "replaced broken worker pool",
+            )
+        elif not self.reuse_pool:
+            pool.shutdown()
+        return failed, error
+
+    def _gather(self, fn, jobs, workers: int) -> list:
+        """Run ``jobs`` (serially or on the pool), retrying failed shards.
+
+        Results are returned in job order.  Failed shards are recomputed with
+        exponential backoff up to ``max_retries`` extra attempts; because the
+        shards are deterministic and injected faults fire at most once, the
+        recovered gather is bit-identical to a fault-free one.
+        """
+        results: list = [None] * len(jobs)
+        pending = list(range(len(jobs)))
+        attempt = 0
+        while True:
+            faults = self._faults_for(pending)
+            if workers == 1:
+                failed, error = self._attempt_serial(fn, jobs, results, pending, faults)
+            else:
+                failed, error = self._attempt_pool(fn, jobs, results, pending, faults, workers)
+            if not failed:
+                return results
+            attempt += 1
+            if attempt > self.max_retries:
+                raise ShardRetryError(
+                    f"{len(failed)} shard(s) still failing after "
+                    f"{self.max_retries} retries: {error!r}"
+                ) from error
+            self.fault_log.record(
+                "executor",
+                "retry",
+                f"recomputing {len(failed)} shard(s), attempt {attempt + 1} "
+                f"after {type(error).__name__}",
+            )
+            delay = self.retry_backoff_s * (2 ** (attempt - 1))
+            if delay > 0:
+                time.sleep(delay)
+            failed.sort()
+            pending = failed
 
     def close(self) -> None:
         """Shut down the persistent worker pool (no-op when none is open).
@@ -176,9 +354,7 @@ class EnsembleExecutor:
         if not jobs:
             return []
         workers = min(self.n_workers, len(jobs))
-        if workers == 1:
-            return [fn(job) for job in jobs]
-        return self._run_jobs(fn, jobs, workers)
+        return self._gather(fn, jobs, workers)
 
     def map_states(self, model, ensemble: np.ndarray, n_steps: int = 1) -> np.ndarray:
         """Propagate an ``(m, d)`` ensemble through ``model`` member-parallel."""
@@ -186,11 +362,9 @@ class EnsembleExecutor:
         if ensemble.ndim != 2:
             raise ValueError("ensemble must have shape (m, state_size)")
         workers = self._effective_workers(ensemble.shape[0])
-        if workers == 1:
-            return model.forecast(ensemble, n_steps=n_steps)
         slices = ensemble_slices(ensemble.shape[0], workers)
         jobs = [(model, ensemble[s], n_steps) for s in slices]
-        results = self._run_jobs(_forecast_chunk, jobs, workers)
+        results = self._gather(_forecast_chunk, jobs, workers)
         return np.concatenate(results, axis=0)
 
     def analyze_ensf(
@@ -232,8 +406,5 @@ class EnsembleExecutor:
             (filter_, forecast_ensemble, observation, operator, member_seeds[s.start : s.stop])
             for s in slices
         ]
-        if workers == 1:
-            results = [_ensf_chunk(job) for job in jobs]
-        else:
-            results = self._run_jobs(_ensf_chunk, jobs, workers)
+        results = self._gather(_ensf_chunk, jobs, workers)
         return np.concatenate(results, axis=0)

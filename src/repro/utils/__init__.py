@@ -7,6 +7,13 @@ from repro.utils.random import (
     sample_from_catalogue,
     split_rng,
 )
+from repro.utils.faults import (
+    FaultEvent,
+    FaultInjected,
+    FaultLog,
+    FaultPlan,
+    RecoveryAction,
+)
 from repro.utils.fft import (
     FFTBackend,
     available_backends,
@@ -42,6 +49,11 @@ __all__ = [
     "default_rng",
     "sample_from_catalogue",
     "split_rng",
+    "FaultEvent",
+    "FaultInjected",
+    "FaultLog",
+    "FaultPlan",
+    "RecoveryAction",
     "FFTBackend",
     "available_backends",
     "default_backend_name",

@@ -1,0 +1,297 @@
+"""Deterministic fault injection for the cycling runtime.
+
+A *real-time* assimilation system must survive lost workers, hung shards,
+corrupted observation batches and half-written checkpoints.  This module
+provides the failure model the fault-tolerant runtime is tested against:
+
+``FaultPlan``
+    A reproducible schedule of :class:`FaultEvent`\\ s.  Each event names a
+    fault *kind*, an injection *site* and the *occurrence* (the how-many-eth
+    visit of that site) at which it fires.  Plans are built explicitly, from
+    a compact spec string (also accepted via the ``REPRO_FAULT_PLAN``
+    environment variable, so smoke tests can replay an exact failure
+    sequence against an unmodified driver), or seed-derived with
+    :meth:`FaultPlan.seeded`.
+``FaultLog``
+    The flight recorder: every recovery action the runtime takes (shard
+    retry, pool rebuild, QC rejection, checkpoint fallback, divergence
+    reset, ...) is appended as a :class:`RecoveryAction`, so tests can
+    assert not only that a faulted run produced correct results but that it
+    actually *recovered* rather than silently never failing.
+
+Injection sites
+---------------
+``"executor"``
+    Visited once per :class:`~repro.hpc.ensemble_parallel.EnsembleExecutor`
+    gather attempt (each batch of shard jobs, including retry batches).
+    Supported kinds: ``"worker-crash"`` (the targeted shard's worker calls
+    ``os._exit`` — in the serial in-process fallback the shard raises
+    :class:`FaultInjected` instead) and ``"task-hang"`` (the shard sleeps
+    ``payload["hang_s"]`` seconds before computing, so a task deadline can
+    catch it).  ``payload["job"]`` selects the shard (index into the batch,
+    default 0).
+``"observations"``
+    Visited once per measurement actually taken by an
+    :class:`~repro.core.observations.ObservationStream`.  Kind
+    ``"obs-corrupt"``: ``payload["mode"]`` is ``"spurious"`` (default —
+    deliver an *additional* corrupted duplicate of the measurement, the
+    garbage-retransmission case QC must reject) or ``"in-place"`` (corrupt
+    the real measurement's values).  ``payload["value"]`` is ``"nan"``
+    (default), ``"inf"`` or ``"gross"``; ``payload["fraction"]`` the
+    fraction of components corrupted (default 1.0).
+``"checkpoint"``
+    Visited once per engine checkpoint write.  Kind
+    ``"checkpoint-truncate"``: the just-written file is truncated to
+    ``payload["keep"]`` of its bytes (default 0.5), simulating a crash the
+    atomic-write path cannot see (e.g. torn storage) — the checksum
+    verification and ``resume="auto"`` fallback must recover.
+
+Determinism contract: a plan never draws random numbers at injection time
+(corruption patterns are derived from the event itself), so an injected run
+consumes exactly the same rng streams as a clean run — which is what makes
+"faulted results must be bit-identical wherever recovery recomputes
+deterministic work" a testable property.
+
+Spec grammar (``REPRO_FAULT_PLAN``)::
+
+    spec    := entry (";" entry)*
+    entry   := kind "@" site ":" occurrence ("," key "=" value)*
+
+e.g. ``worker-crash@executor:1;checkpoint-truncate@checkpoint:0,keep=0.25``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjected",
+    "RecoveryAction",
+    "FaultLog",
+]
+
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+FAULT_KINDS = ("worker-crash", "task-hang", "obs-corrupt", "checkpoint-truncate")
+FAULT_SITES = ("executor", "observations", "checkpoint")
+
+# Which site each kind belongs to (used by seeded plans and validation).
+_KIND_SITE = {
+    "worker-crash": "executor",
+    "task-hang": "executor",
+    "obs-corrupt": "observations",
+    "checkpoint-truncate": "checkpoint",
+}
+
+
+class FaultInjected(RuntimeError):
+    """Raised in place of a hard crash when a fault fires in-process."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` fires at the ``occurrence``-th visit of ``site``."""
+
+    kind: str
+    site: str
+    occurrence: int
+    payload: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (known: {FAULT_KINDS})")
+        if self.site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {self.site!r} (known: {FAULT_SITES})")
+        if _KIND_SITE[self.kind] != self.site:
+            raise ValueError(
+                f"fault kind {self.kind!r} belongs to site {_KIND_SITE[self.kind]!r}, "
+                f"not {self.site!r}"
+            )
+        if self.occurrence < 0:
+            raise ValueError("occurrence must be non-negative")
+
+    def spec(self) -> str:
+        """Compact spec form of this event (``kind@site:occurrence[,k=v...]``)."""
+        parts = [f"{self.kind}@{self.site}:{self.occurrence}"]
+        for key in sorted(self.payload):
+            parts.append(f"{key}={self.payload[key]}")
+        return ",".join(parts)
+
+
+def _parse_value(raw: str):
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+class FaultPlan:
+    """A deterministic, replayable schedule of fault events.
+
+    The runtime calls :meth:`visit` at each injection site; the plan counts
+    visits per site and returns the events scheduled for that visit.  Each
+    event fires exactly once — a retried shard is rebuilt *without* its
+    fault, which is what lets recovery recompute bit-identical results.
+    """
+
+    def __init__(self, events: list[FaultEvent] | tuple[FaultEvent, ...] = ()) -> None:
+        self.events = tuple(events)
+        self._visits: dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------- #
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse the ``kind@site:occurrence[,k=v...]`` grammar (see module doc)."""
+        events = []
+        for entry in spec.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            try:
+                kind, rest = entry.split("@", 1)
+                site, tail = rest.split(":", 1)
+            except ValueError:
+                raise ValueError(
+                    f"malformed fault spec entry {entry!r} "
+                    "(expected kind@site:occurrence[,key=value...])"
+                ) from None
+            fields = tail.split(",")
+            payload = {}
+            for item in fields[1:]:
+                key, _, raw = item.partition("=")
+                if not key or not raw:
+                    raise ValueError(f"malformed fault payload item {item!r} in {entry!r}")
+                payload[key.strip()] = _parse_value(raw.strip())
+            events.append(
+                FaultEvent(
+                    kind=kind.strip(),
+                    site=site.strip(),
+                    occurrence=int(fields[0]),
+                    payload=payload,
+                )
+            )
+        return cls(events)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """Plan from ``REPRO_FAULT_PLAN``, or ``None`` when the variable is unset/empty."""
+        environ = os.environ if environ is None else environ
+        spec = environ.get(ENV_FAULT_PLAN, "").strip()
+        if not spec:
+            return None
+        return cls.from_spec(spec)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_events: int = 3,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        max_occurrence: int = 8,
+    ) -> "FaultPlan":
+        """Seed-derived reproducible plan (same seed => same events).
+
+        The generator is private to plan construction — building a seeded
+        plan never touches any experiment rng stream.
+        """
+        if n_events < 0:
+            raise ValueError("n_events must be non-negative")
+        rng = np.random.default_rng(seed)
+        events = []
+        for _ in range(n_events):
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            events.append(
+                FaultEvent(
+                    kind=kind,
+                    site=_KIND_SITE[kind],
+                    occurrence=int(rng.integers(0, max_occurrence)),
+                )
+            )
+        return cls(events)
+
+    # -- protocol ----------------------------------------------------------- #
+    def spec(self) -> str:
+        """Round-trippable spec string of the whole plan (for replay/recording)."""
+        return ";".join(event.spec() for event in self.events)
+
+    def visit(self, site: str) -> list[FaultEvent]:
+        """Advance the ``site`` visit counter and return the events firing now."""
+        if site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {site!r}")
+        count = self._visits.get(site, 0)
+        self._visits[site] = count + 1
+        return [e for e in self.events if e.site == site and e.occurrence == count]
+
+    def visits(self, site: str) -> int:
+        """How many times ``site`` has been visited so far."""
+        return self._visits.get(site, 0)
+
+    def reset(self) -> None:
+        """Rewind all visit counters (replay the plan from the start)."""
+        self._visits.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.spec()!r})"
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One recovery the runtime performed in response to a (possible) fault."""
+
+    site: str
+    action: str
+    detail: str = ""
+    cycle: int | None = None
+
+
+class FaultLog:
+    """Append-only record of every recovery action taken during a run.
+
+    Actions used by the runtime: ``"retry"`` / ``"pool-rebuild"`` /
+    ``"deadline-kill"`` (executor), ``"qc-reject"`` / ``"analysis-skipped"``
+    (engine degradation), ``"obs-corrupt"`` (injected corruption),
+    ``"checkpoint-truncate"`` (injected truncation),
+    ``"checkpoint-fallback"`` (auto-resume skipped an invalid checkpoint),
+    ``"divergence-<policy>"`` (divergence handling).
+    """
+
+    def __init__(self) -> None:
+        self.actions: list[RecoveryAction] = []
+
+    def record(self, site: str, action: str, detail: str = "", cycle: int | None = None) -> None:
+        self.actions.append(RecoveryAction(site=site, action=action, detail=detail, cycle=cycle))
+
+    def count(self, action: str | None = None, site: str | None = None) -> int:
+        return sum(
+            1
+            for a in self.actions
+            if (action is None or a.action == action) and (site is None or a.site == site)
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Action-name → count (the compact shape diagnostics embed)."""
+        out: dict[str, int] = {}
+        for a in self.actions:
+            out[a.action] = out.get(a.action, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultLog({self.summary()!r})"

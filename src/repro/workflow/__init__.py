@@ -23,6 +23,10 @@ _EXPORTS = {
     "CycleContext": "repro.workflow.engine",
     "EngineResult": "repro.workflow.engine",
     "EngineCheckpoint": "repro.workflow.engine",
+    "CheckpointCorruptError": "repro.workflow.engine",
+    "CheckpointRing": "repro.workflow.engine",
+    "DivergencePolicy": "repro.workflow.engine",
+    "EnsembleDivergenceError": "repro.workflow.engine",
     "TruthStage": "repro.workflow.engine",
     "ObservationStage": "repro.workflow.engine",
     "EnsembleForecastStage": "repro.workflow.engine",

@@ -41,8 +41,10 @@ what makes paper-scale 300-cycle runs restartable.
 from __future__ import annotations
 
 import copy
+import hashlib
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -51,6 +53,7 @@ import numpy as np
 from repro.core.filters import EnsembleStatistics, ensemble_statistics, relax_spread
 from repro.core.observations import ObservationEvent, ObservationStream
 from repro.models.base import propagate_ensemble
+from repro.utils.faults import FaultLog, FaultPlan
 from repro.utils.random import SeedSequenceFactory
 from repro.utils.timing import BenchRecorder
 
@@ -60,6 +63,10 @@ __all__ = [
     "CycleContext",
     "EngineResult",
     "EngineCheckpoint",
+    "CheckpointCorruptError",
+    "CheckpointRing",
+    "DivergencePolicy",
+    "EnsembleDivergenceError",
     "TruthStage",
     "ObservationStage",
     "EnsembleForecastStage",
@@ -95,7 +102,16 @@ def _load_rng_state(rng, state: dict | None) -> None:
 
 @dataclass
 class CycleRecord:
-    """Diagnostics of one completed cycle."""
+    """Diagnostics of one completed cycle.
+
+    Degraded-mode flags: ``qc_rejected`` counts observation events this
+    cycle's QC stage refused to assimilate, ``deadline_skipped`` marks a
+    forecast-only cycle whose remaining analyses were dropped at the cycle
+    deadline, and ``divergence_action`` names the in-place divergence
+    recovery applied (currently ``"reinflate"``; a checkpoint *reset*
+    discards the diverged cycle entirely, so it appears in the
+    :class:`~repro.utils.faults.FaultLog` instead).
+    """
 
     cycle: int
     forecast_rmse: float
@@ -103,6 +119,9 @@ class CycleRecord:
     analysis_spread: float
     observed: bool
     online_loss: float | None = None
+    qc_rejected: int = 0
+    deadline_skipped: bool = False
+    divergence_action: str | None = None
 
 
 @dataclass
@@ -130,6 +149,7 @@ class EngineResult:
     mean_final: np.ndarray
     history: np.ndarray | None
     timing: dict
+    fault_log: FaultLog | None = None
 
     def series(self, name: str) -> np.ndarray:
         """Per-cycle series of one :class:`CycleRecord` field."""
@@ -173,19 +193,26 @@ class EngineCheckpoint:
     fingerprint: dict[str, dict]
 
     def save(self, path) -> None:
-        """Pickle the checkpoint to ``path`` crash-consistently.
+        """Write the checkpoint to ``path`` crash-consistently.
 
-        The bytes are written to a sibling temporary file, flushed and
-        fsynced, then moved over ``path`` with :func:`os.replace` (atomic on
-        POSIX).  A process killed mid-save therefore leaves either the old
-        checkpoint or the new one — never a truncated file that would poison
-        a later ``resume``.
+        The file layout is a magic line, the SHA-256 of the pickled payload,
+        then the payload — so :meth:`load` can tell a torn/bit-rotted file
+        from a valid one.  The bytes are written to a sibling temporary
+        file, flushed and fsynced, then moved over ``path`` with
+        :func:`os.replace` (atomic on POSIX).  A process killed mid-save
+        therefore leaves either the old checkpoint or the new one — never a
+        truncated file that would poison a later ``resume``.
         """
+        payload = pickle.dumps(self)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
         path = Path(path)
         tmp = path.with_name(path.name + ".tmp")
         try:
             with open(tmp, "wb") as fh:
-                pickle.dump(self, fh)
+                fh.write(_CKPT_MAGIC)
+                fh.write(digest)
+                fh.write(b"\n")
+                fh.write(payload)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
@@ -194,12 +221,130 @@ class EngineCheckpoint:
 
     @classmethod
     def load(cls, path) -> "EngineCheckpoint":
-        """Load a checkpoint written by :meth:`save`."""
-        with open(path, "rb") as fh:
-            ckpt = pickle.load(fh)
+        """Load and checksum-verify a checkpoint written by :meth:`save`.
+
+        Raises :class:`CheckpointCorruptError` (a :class:`ValueError`) when
+        the file is truncated, fails its checksum, or does not unpickle —
+        the signal ``resume="auto"`` uses to fall back to an older
+        checkpoint.  Pre-checksum checkpoints (raw pickles) still load.
+        """
+        data = Path(path).read_bytes()
+        if data.startswith(_CKPT_MAGIC):
+            head = len(_CKPT_MAGIC)
+            digest, sep, payload = data[head : head + 64], data[head + 64 : head + 65], data[head + 65 :]
+            if sep != b"\n" or hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+                raise CheckpointCorruptError(
+                    f"checkpoint {str(path)!r} is corrupt (checksum mismatch or truncated)"
+                )
+        else:
+            payload = data  # legacy raw-pickle checkpoint
+        try:
+            ckpt = pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {str(path)!r} does not unpickle: {exc!r}"
+            ) from exc
         if not isinstance(ckpt, cls):
             raise ValueError(f"{path!r} does not contain an EngineCheckpoint")
         return ckpt
+
+
+_CKPT_MAGIC = b"REPRO-CKPT-1\n"
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint file failed verification (truncated, bit-rot, bad pickle)."""
+
+
+class CheckpointRing:
+    """Rotating ring of the last ``keep_last`` checkpoints of a run.
+
+    Members live next to ``base_path`` as ``<name>.c<NNNNNN>`` (the cycle
+    the checkpoint resumes at), newest last; :meth:`save` prunes the oldest
+    beyond ``keep_last``.  :meth:`latest_valid` walks newest→oldest past
+    corrupt members, which is what lets ``resume="auto"`` and the
+    reset-from-checkpoint divergence policy survive a torn latest file.
+    """
+
+    def __init__(self, base_path, keep_last: int = 3) -> None:
+        if keep_last < 1:
+            raise ValueError("keep_last must be positive")
+        self.base = Path(base_path)
+        self.keep_last = int(keep_last)
+
+    def path_for(self, next_cycle: int) -> Path:
+        return self.base.with_name(f"{self.base.name}.c{int(next_cycle):06d}")
+
+    def paths(self) -> list[Path]:
+        """Ring members on disk, oldest first."""
+        prefix = self.base.name + ".c"
+        members = []
+        if self.base.parent.is_dir():
+            for p in self.base.parent.iterdir():
+                if p.name.startswith(prefix) and p.name[len(prefix) :].isdigit():
+                    members.append((int(p.name[len(prefix) :]), p))
+        return [p for _, p in sorted(members)]
+
+    def save(self, ckpt: EngineCheckpoint) -> Path:
+        path = self.path_for(ckpt.next_cycle)
+        ckpt.save(path)
+        for stale in self.paths()[: -self.keep_last]:
+            stale.unlink(missing_ok=True)
+        return path
+
+    def latest_valid(self, fault_log: FaultLog | None = None):
+        """Newest loadable ``(checkpoint, path)``, or ``None`` if none is.
+
+        Invalid members are skipped (and noted in ``fault_log`` as
+        ``"checkpoint-fallback"`` actions), not deleted — they are evidence.
+        """
+        for path in reversed(self.paths()):
+            try:
+                return EngineCheckpoint.load(path), path
+            except (CheckpointCorruptError, OSError, ValueError) as exc:
+                if fault_log is not None:
+                    fault_log.record(
+                        "checkpoint", "checkpoint-fallback", f"skipping {path.name}: {exc}"
+                    )
+        return None
+
+
+class EnsembleDivergenceError(RuntimeError):
+    """The ensemble diverged and the policy could not (or must not) recover."""
+
+
+@dataclass(frozen=True)
+class DivergencePolicy:
+    """What the engine does when the ensemble blows up.
+
+    Divergence means a non-finite ensemble state, or a mean spread above
+    ``spread_max`` (when set).  ``action`` is one of:
+
+    ``"halt"``
+        Raise :class:`EnsembleDivergenceError` (the default: fail loudly).
+    ``"reinflate"``
+        Deterministically rescale the perturbations around the ensemble
+        mean down/up to ``reinflate_to`` (default ``spread_max``) and carry
+        on; only possible while the state is still finite.
+    ``"reset"``
+        Reload the newest valid checkpoint and recompute from there —
+        bit-identical recovery when the divergence was caused by a
+        transient (e.g. a corrupted observation batch), since each injected
+        fault fires only once.  Requires checkpointing with ``keep_last``;
+        after ``max_resets`` reloads the engine halts instead of livelocking
+        on a deterministic divergence.
+    """
+
+    spread_max: float | None = None
+    action: str = "halt"
+    reinflate_to: float | None = None
+    max_resets: int = 3
+
+    def __post_init__(self) -> None:
+        if self.action not in ("halt", "reinflate", "reset"):
+            raise ValueError(f"unknown divergence action {self.action!r}")
+        if self.max_resets < 1:
+            raise ValueError("max_resets must be positive")
 
 
 # --------------------------------------------------------------------------- #
@@ -424,6 +569,23 @@ class CycleEngine:
     on_cycle:
         Optional callback invoked with each completed :class:`CycleRecord`
         (the real-time workflow uses it for incremental timing/history).
+        Cycles replayed after a divergence *reset* recompute records the
+        callback already saw bit-identically, so they are not re-delivered.
+    qc:
+        Optional :class:`~repro.core.observations.ObservationQC`; events it
+        rejects are counted in ``CycleRecord.qc_rejected`` and skipped.
+    cycle_deadline_s:
+        Optional per-cycle wall-clock budget.  Once exceeded, the cycle's
+        remaining analyses are skipped (forecast-only cycle, flagged as
+        ``CycleRecord.deadline_skipped``) — the real-time degraded mode.
+    divergence:
+        Optional :class:`DivergencePolicy`.
+    fault_plan / fault_log:
+        Deterministic fault injection (see :mod:`repro.utils.faults`); the
+        engine owns the ``"checkpoint"`` site.  The plan defaults to
+        ``FaultPlan.from_env()``; every degradation/recovery (QC reject,
+        deadline skip, checkpoint fallback, divergence handling) is appended
+        to the log.
     """
 
     def __init__(
@@ -438,6 +600,11 @@ class CycleEngine:
         recorder: BenchRecorder | None = None,
         store_history: bool = False,
         on_cycle=None,
+        qc=None,
+        cycle_deadline_s: float | None = None,
+        divergence: DivergencePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        fault_log: FaultLog | None = None,
     ) -> None:
         self.truth_stage = truth
         self.forecast_stage = forecast
@@ -448,6 +615,11 @@ class CycleEngine:
         self.recorder = recorder if recorder is not None else BenchRecorder()
         self.store_history = bool(store_history)
         self.on_cycle = on_cycle
+        self.qc = qc
+        self.cycle_deadline_s = None if cycle_deadline_s is None else float(cycle_deadline_s)
+        self.divergence = divergence
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
         # run state (populated by run()/checkpoint loading)
         self._truth: np.ndarray | None = None
         self._state: np.ndarray | None = None
@@ -547,6 +719,33 @@ class CycleEngine:
         else:
             self._history = None
 
+    # -- degraded modes ---------------------------------------------------- #
+    def _divergence_reason(self, stats: EnsembleStatistics, state: np.ndarray) -> str | None:
+        """Why the ensemble counts as diverged, or ``None`` when healthy."""
+        if not np.all(np.isfinite(state)):
+            return "non-finite ensemble state"
+        limit = self.divergence.spread_max
+        if limit is not None and stats.mean_spread > limit:
+            return f"mean spread {stats.mean_spread:.6g} above limit {limit:.6g}"
+        return None
+
+    def _latest_valid_checkpoint(self, checkpoint_path, ring: "CheckpointRing | None"):
+        """Newest loadable ``(checkpoint, path)`` on disk, or ``None``."""
+        if ring is not None:
+            return ring.latest_valid(self.fault_log)
+        if checkpoint_path is None:
+            return None
+        path = Path(checkpoint_path)
+        try:
+            return EngineCheckpoint.load(path), path
+        except FileNotFoundError:
+            return None
+        except (CheckpointCorruptError, OSError, ValueError) as exc:
+            self.fault_log.record(
+                "checkpoint", "checkpoint-fallback", f"skipping {path.name}: {exc}"
+            )
+            return None
+
     # -- the loop ---------------------------------------------------------- #
     def run(
         self,
@@ -557,14 +756,23 @@ class CycleEngine:
         resume: EngineCheckpoint | str | Path | None = None,
         checkpoint_every: int | None = None,
         checkpoint_path=None,
+        keep_last: int | None = None,
     ) -> EngineResult:
         """Run cycles until ``n_cycles`` total have completed.
 
         Fresh runs start from ``truth0``/``state0`` at cycle 0; with
         ``resume`` (a checkpoint or a path to one) the initial states are
         taken from the checkpoint and cycling continues at its
-        ``next_cycle``.  ``checkpoint_every``/``checkpoint_path`` write a
-        rolling checkpoint after every so-many completed cycles.
+        ``next_cycle``.  ``resume="auto"`` resumes from the newest *valid*
+        checkpoint on disk — walking past truncated/corrupt files — and
+        starts fresh (from ``truth0``/``state0``) when none exists.
+
+        ``checkpoint_every``/``checkpoint_path`` write a rolling checkpoint
+        after every so-many completed cycles: to a single self-replacing
+        file by default, or — with ``keep_last=k`` — to a
+        :class:`CheckpointRing` of the ``k`` newest ``<path>.c<NNNNNN>``
+        files (which is what makes ``resume="auto"`` and the ``"reset"``
+        divergence policy robust to a torn latest checkpoint).
         """
         if n_cycles is None or n_cycles < 1:
             raise ValueError("n_cycles must be positive")
@@ -572,6 +780,13 @@ class CycleEngine:
             raise ValueError("checkpoint_every must be positive")
         if (checkpoint_every is None) != (checkpoint_path is None):
             raise ValueError("checkpoint_every and checkpoint_path go together")
+        if keep_last is not None and checkpoint_path is None:
+            raise ValueError("keep_last needs checkpoint_every/checkpoint_path")
+        ring = None if keep_last is None else CheckpointRing(checkpoint_path, keep_last)
+
+        if isinstance(resume, str) and resume == "auto":
+            found = self._latest_valid_checkpoint(checkpoint_path, ring)
+            resume = found[0] if found is not None else None
         if resume is not None:
             if isinstance(resume, (str, Path)):
                 resume = EngineCheckpoint.load(resume)
@@ -592,7 +807,11 @@ class CycleEngine:
 
         recorder = self.recorder
         timing_snapshot = recorder.snapshot()
-        for cycle in range(start, n_cycles):
+        resets = 0
+        reported_high = start - 1  # highest cycle already delivered to on_cycle
+        while self._next_cycle < n_cycles:
+            cycle = self._next_cycle
+            cycle_started = time.perf_counter()
             ctx = CycleContext(
                 cycle=cycle,
                 recorder=recorder,
@@ -607,13 +826,46 @@ class CycleEngine:
             forecast_rmse = rmse(ctx.forecast_mean, ctx.truth)
 
             observed = False
+            qc_rejected = 0
+            deadline_skipped = False
             if self.analysis_stage is not None:
                 for event in ctx.events:
+                    if (
+                        self.cycle_deadline_s is not None
+                        and time.perf_counter() - cycle_started > self.cycle_deadline_s
+                    ):
+                        deadline_skipped = True
+                        self.fault_log.record(
+                            "observations",
+                            "analysis-skipped",
+                            f"cycle deadline {self.cycle_deadline_s}s exceeded; "
+                            "remaining analyses dropped (forecast-only cycle)",
+                            cycle=cycle,
+                        )
+                        break
+                    if self.qc is not None:
+                        report = self.qc.check(event, ctx.forecast_mean)
+                        if not report.ok:
+                            qc_rejected += 1
+                            self.fault_log.record(
+                                "observations", "qc-reject", report.reason, cycle=cycle
+                            )
+                            continue
                     with recorder.section("analysis"):
                         ctx.state = self.analysis_stage.analyze(ctx, event)
                     observed = True
 
             stats = self.forecast_stage.statistics(ctx.state)
+            divergence_action = None
+            if self.divergence is not None:
+                reason = self._divergence_reason(stats, ctx.state)
+                if reason is not None:
+                    stats, divergence_action = self._handle_divergence(
+                        ctx, stats, reason, checkpoint_path, ring, resets
+                    )
+                    if divergence_action == "reset":
+                        resets += 1
+                        continue  # state rewound; recompute from the checkpoint
             ctx.analysis_stats = stats
             if self.post_analysis_stage is not None:
                 self.post_analysis_stage.run(ctx)
@@ -625,6 +877,9 @@ class CycleEngine:
                 analysis_spread=stats.mean_spread,
                 observed=observed,
                 online_loss=ctx.online_loss,
+                qc_rejected=qc_rejected,
+                deadline_skipped=deadline_skipped,
+                divergence_action=divergence_action,
             )
             self._truth = ctx.truth
             self._state = ctx.state
@@ -633,8 +888,13 @@ class CycleEngine:
                 self._history.append(stats.mean.copy())
             self._next_cycle = cycle + 1
             if checkpoint_every is not None and (cycle + 1 - start) % checkpoint_every == 0:
-                self.checkpoint().save(checkpoint_path)
-            if self.on_cycle is not None:
+                ckpt = self.checkpoint()
+                written = ring.save(ckpt) if ring is not None else Path(checkpoint_path)
+                if ring is None:
+                    ckpt.save(written)
+                self._maybe_corrupt_checkpoint(written, cycle)
+            if self.on_cycle is not None and cycle > reported_high:
+                reported_high = cycle
                 self.on_cycle(record)
 
         stats_final = self.forecast_stage.statistics(self._state)
@@ -645,4 +905,74 @@ class CycleEngine:
             mean_final=stats_final.mean,
             history=None if self._history is None else np.array(self._history),
             timing=recorder.report(since=timing_snapshot),
+            fault_log=self.fault_log,
         )
+
+    def _handle_divergence(
+        self, ctx, stats, reason, checkpoint_path, ring, resets_done
+    ):
+        """Apply the divergence policy; returns ``(stats, action_taken)``.
+
+        ``"reinflate"`` rescales in place and returns fresh statistics;
+        ``"reset"`` rewinds the engine to the newest valid checkpoint (the
+        caller restarts the cycle); anything unrecoverable raises
+        :class:`EnsembleDivergenceError`.
+        """
+        policy = self.divergence
+        cycle = ctx.cycle
+        if policy.action == "reinflate":
+            target = policy.reinflate_to if policy.reinflate_to is not None else policy.spread_max
+            finite = bool(np.all(np.isfinite(ctx.state)))
+            if finite and target is not None and stats.mean_spread > 0:
+                factor = float(target) / float(stats.mean_spread)
+                ctx.state = stats.mean + (ctx.state - stats.mean) * factor
+                self.fault_log.record(
+                    "observations",
+                    "divergence-reinflate",
+                    f"{reason}; rescaled perturbations by {factor:.3g}",
+                    cycle=cycle,
+                )
+                return self.forecast_stage.statistics(ctx.state), "reinflate"
+            raise EnsembleDivergenceError(
+                f"cycle {cycle}: {reason}; reinflation impossible "
+                f"({'non-finite state' if not finite else 'no target spread'})"
+            )
+        if policy.action == "reset":
+            if resets_done >= policy.max_resets:
+                raise EnsembleDivergenceError(
+                    f"cycle {cycle}: {reason}; divergence persisted through "
+                    f"{policy.max_resets} checkpoint reset(s)"
+                )
+            found = self._latest_valid_checkpoint(checkpoint_path, ring)
+            if found is None:
+                raise EnsembleDivergenceError(
+                    f"cycle {cycle}: {reason}; no valid checkpoint to reset from"
+                )
+            ckpt, path = found
+            self._load_checkpoint(ckpt)
+            self.fault_log.record(
+                "checkpoint",
+                "divergence-reset",
+                f"{reason}; reset to {path.name} (resumes at cycle {ckpt.next_cycle})",
+                cycle=cycle,
+            )
+            return stats, "reset"
+        raise EnsembleDivergenceError(f"cycle {cycle}: {reason}")
+
+    def _maybe_corrupt_checkpoint(self, path: Path, cycle: int) -> None:
+        """Fire any injected ``"checkpoint"``-site faults on the file just written."""
+        if self.fault_plan is None:
+            return
+        for event in self.fault_plan.visit("checkpoint"):
+            if event.kind != "checkpoint-truncate":
+                continue
+            keep = float(event.payload.get("keep", 0.5))
+            size = path.stat().st_size
+            with open(path, "r+b") as fh:
+                fh.truncate(max(0, int(size * keep)))
+            self.fault_log.record(
+                "checkpoint",
+                "checkpoint-truncate",
+                f"injected truncation of {path.name} to {keep:.0%} of {size} bytes",
+                cycle=cycle,
+            )

@@ -156,6 +156,8 @@ def run_four_experiments(
         testbed.model, surrogate, testbed.truth0, osse, label="ViT only"
     )
     scenario = config.observation_scenario()
+    qc = config.observation_qc()
+    divergence = config.divergence_policy()
     results["SQG+LETKF"] = run_osse(
         truth_model=testbed.model,
         forecast_model=testbed.model,
@@ -166,6 +168,9 @@ def run_four_experiments(
         label="SQG+LETKF",
         store_history=store_history,
         scenario=scenario,
+        qc=qc,
+        cycle_deadline_s=config.cycle_deadline_s,
+        divergence=divergence,
     )
     results["ViT+EnSF"] = run_osse(
         truth_model=testbed.model,
@@ -177,6 +182,9 @@ def run_four_experiments(
         label="ViT+EnSF",
         store_history=store_history,
         scenario=scenario,
+        qc=qc,
+        cycle_deadline_s=config.cycle_deadline_s,
+        divergence=divergence,
     )
 
     return FourWayComparison(

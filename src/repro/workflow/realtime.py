@@ -29,7 +29,8 @@ import numpy as np
 
 from repro.core.ensf import EnSF, EnSFConfig
 from repro.core.filters import ensemble_statistics
-from repro.core.observations import ObservationScenario, ObservationStream
+from repro.core.observations import ObservationQC, ObservationScenario, ObservationStream
+from repro.utils.faults import FaultLog, FaultPlan
 from repro.models.base import ForecastModel
 from repro.models.model_error import StochasticModelErrorMixture
 from repro.surrogate.training import OnlineTrainer, TrainingConfig
@@ -114,6 +115,17 @@ class RealTimeDAWorkflow:
         degrading the observation protocol (sparse / lossy / latent /
         multi-operator streaming networks); ``None`` keeps the idealized
         one-observation-per-cycle protocol bit-identically.
+    qc:
+        Optional :class:`~repro.core.observations.ObservationQC` screening
+        every observation event before its EnSF analysis (a real-time
+        system must reject a corrupted packet rather than assimilate it).
+    cycle_deadline_s:
+        Optional per-cycle wall-clock budget; once exceeded the remaining
+        analyses of that cycle are skipped (forecast-only degraded cycle).
+    fault_plan / fault_log:
+        Deterministic fault injection and the recovery log (see
+        :mod:`repro.utils.faults`); the log is shared by the observation
+        stream and the engine and exposed as ``workflow.fault_log``.
     """
 
     def __init__(
@@ -127,6 +139,10 @@ class RealTimeDAWorkflow:
         executor=None,
         seed: int = 0,
         scenario: ObservationScenario | None = None,
+        qc: ObservationQC | None = None,
+        cycle_deadline_s: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        fault_log: FaultLog | None = None,
     ):
         self.surrogate = surrogate
         self.truth_model = truth_model
@@ -142,6 +158,10 @@ class RealTimeDAWorkflow:
         self.model_error = model_error
         self.executor = executor
         self.scenario = scenario
+        self.qc = qc
+        self.cycle_deadline_s = cycle_deadline_s
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
         self.timings = WorkflowTimings()
         self.history: list[CycleRecord] = []
 
@@ -182,6 +202,8 @@ class RealTimeDAWorkflow:
             self.scenario,
             rng=self.seeds.rng("observations"),
             schedule_rng=self.seeds.rng("observation-schedule"),
+            fault_plan=self.fault_plan,
+            fault_log=self.fault_log,
         )
         post_analysis = None
         if self.online_trainer is not None:
@@ -197,6 +219,10 @@ class RealTimeDAWorkflow:
             executor=self.executor,
             recorder=recorder,
             on_cycle=on_cycle,
+            qc=self.qc,
+            cycle_deadline_s=self.cycle_deadline_s,
+            fault_plan=self.fault_plan,
+            fault_log=self.fault_log,
         )
         result = engine.run(truth, ensemble, n_cycles)
         return self.summary(result.truth_final, result.state_final)
@@ -211,4 +237,7 @@ class RealTimeDAWorkflow:
             "analysis_rmse": np.array([h.analysis_rmse for h in self.history]),
             "forecast_rmse": np.array([h.forecast_rmse for h in self.history]),
             "timings": self.timings,
+            "qc_rejected": int(sum(h.qc_rejected for h in self.history)),
+            "deadline_skipped_cycles": int(sum(h.deadline_skipped for h in self.history)),
+            "fault_recoveries": len(self.fault_log),
         }

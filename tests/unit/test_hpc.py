@@ -469,10 +469,17 @@ class TestScalingHarness:
     def test_executor_drops_broken_pool(self):
         from concurrent.futures.process import BrokenProcessPool
 
-        executor = EnsembleExecutor(n_workers=2, min_members_per_worker=1)
+        from repro.hpc.ensemble_parallel import ShardRetryError
+
+        # With the retry budget exhausted the failure surfaces as
+        # ShardRetryError (chaining the BrokenProcessPool) and the dead pool
+        # must not poison the next call.
+        executor = EnsembleExecutor(
+            n_workers=2, min_members_per_worker=1, max_retries=0, retry_backoff_s=0.0
+        )
 
         class _DeadPool:
-            def map(self, fn, jobs):
+            def submit(self, fn, *args):
                 raise BrokenProcessPool("worker died")
 
             def shutdown(self, *a, **k):
@@ -480,10 +487,35 @@ class TestScalingHarness:
 
         executor._pool = _DeadPool()
         executor._pool_workers = 2
-        with pytest.raises(BrokenProcessPool):
-            executor._run_jobs(lambda job: job, [1, 2], workers=2)
-        # the dead pool must not poison the next call
+        with pytest.raises(ShardRetryError) as excinfo:
+            executor._gather(np.negative, [np.ones(2), np.ones(2)], workers=2)
+        assert isinstance(excinfo.value.__cause__, BrokenProcessPool)
         assert executor._pool is None
+
+    def test_executor_rebuilds_broken_pool_transparently(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        # With retries left, a dead pool is replaced and the shards are
+        # recomputed on the fresh pool — the caller never sees the failure.
+        executor = EnsembleExecutor(n_workers=2, min_members_per_worker=1, retry_backoff_s=0.0)
+
+        class _DeadPool:
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("worker died")
+
+            def shutdown(self, *a, **k):
+                pass
+
+        executor._pool = _DeadPool()
+        executor._pool_workers = 2
+        try:
+            results = executor.map_blocks(np.negative, [np.ones(2), np.full(2, 2.0)])
+            np.testing.assert_array_equal(results[0], -np.ones(2))
+            np.testing.assert_array_equal(results[1], np.full(2, -2.0))
+            assert executor.fault_log.count(action="retry") == 1
+            assert executor.fault_log.count(action="pool-rebuild") == 1
+        finally:
+            executor.close()
 
 
 class TestParallelAnalysis:
