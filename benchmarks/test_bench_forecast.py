@@ -1,16 +1,22 @@
 """Fused forecast-engine benchmark: pseudo-spectral SQG step + paper-scale OSSE.
 
-Measures the fused tendency/RK4 kernel (`SQGModel.step_spectral`) against the
-pre-fusion oracle (`step_spectral_reference`) and persists the record to
-``BENCH_forecast.json`` at the repository root.
+Times the fused tendency/RK4 kernel (`SQGModel.step_spectral`) and persists
+the record to ``BENCH_forecast.json`` at the repository root.  The
+pre-fusion oracle (``step_spectral_reference``) this file used to race
+against is **retired** (ROADMAP "reference-path retirement"); the
+historical ~1.2–1.5× single-core fusion speedup it certified is frozen in
+the pre-retirement ``BENCH_forecast.json`` history.  The ratio that remains
+measurable with current code is **ensemble batching**: one batched step of
+M members versus M single-member step calls (amortizing FFT dispatch and
+workspace traffic), recorded per case as ``batching_speedup``.
 
 Record layout (see :mod:`repro.utils.timing` for the generic format)::
 
     {
       "benchmark": "forecast-engine",
       "fft_backend": "numpy" | "scipy",
-      "forecast_step": {grid, members, reference_s, optimized_s, speedup,
-                        max_coeff_delta},          # headline 64x64, M=20 step
+      "forecast_step": {grid, members, optimized_s, per_member_loop_s,
+                        batching_speedup, max_coeff_delta},  # 64x64, M=20
       "forecast_step_cases": [ ...per batch size... ],
       "engine_overhead": {grid, cycles, members, legacy_s, engine_s,
                           overhead_pct, analysis_rmse_delta,
@@ -22,20 +28,10 @@ Record layout (see :mod:`repro.utils.timing` for the generic format)::
       "speedup_note": "..."                        # single-core context
     }
 
-The fused kernel is *bit-identical* to the reference (every floating-point
-operation is replicated in the same order), so ``max_coeff_delta`` and the
-OSSE ``analysis_rmse_delta`` are asserted to be exactly ``0.0`` — a stronger
-claim than the issue's ≤1e-12 budget.
-
-A note on the speedup target: the issue aims for ≥3× on the 64×64 step.  On
-a multi-core host the batched transforms thread through the scipy backend's
-``workers`` pool; on the single-core container this record is produced on,
-the step is bound by the FFT work itself (the reference spends ~60 % of its
-wall time inside pocketfft, an Amdahl ceiling of ~2.6× even if everything
-else were free), so the honest single-core speedup recorded here is the
-pruned-transform + fused-elementwise gain of roughly 1.2–1.5×.  The asserted
-floor is deliberately conservative; the full measured context is recorded in
-``speedup_note``.
+``max_coeff_delta`` is the determinism contract: the same step evaluated by
+an independently-constructed model instance (fresh workspaces) must match
+bit for bit, so it is asserted to be exactly ``0.0``, as is the OSSE
+``analysis_rmse_delta`` of the engine-vs-inlined-loop comparison.
 """
 
 import json
@@ -60,14 +56,15 @@ STEP_GRID = (64, 64)
 PAPER_GRID = (128, 128)
 
 SPEEDUP_NOTE = (
-    "Measured on a single-core host where the RK4 step is FFT-bound: the "
-    "reference spends ~60% of wall time inside pocketfft, capping any "
-    "bit-exact rework at ~2.6x (Amdahl). The fused kernel reaches its gain "
-    "by pruning transforms to the 2/3-rule retained columns, batching the "
-    "four advection-field inverse transforms into one call, and running all "
-    "spectral arithmetic in-place on persistent buffers; on multi-core "
-    "hosts the scipy backend additionally threads every batched transform "
-    "(REPRO_FFT_WORKERS)."
+    "Measured on a single-core host where the RK4 step is FFT-bound. The "
+    "fused kernel prunes transforms to the 2/3-rule retained columns, "
+    "batches the four advection-field inverse transforms into one call, and "
+    "runs all spectral arithmetic in-place on persistent buffers (the "
+    "retired pre-fusion oracle certified this at roughly 1.2-1.5x single-"
+    "core before its retirement); batching_speedup records the remaining "
+    "measurable ratio, one batched M-member step vs M single-member steps. "
+    "On multi-core hosts the scipy backend additionally threads every "
+    "batched transform (REPRO_FFT_WORKERS)."
 )
 
 
@@ -87,23 +84,32 @@ def _ensemble_spec(model, members, seed=0):
 
 
 def _bench_step_case(members):
-    """Best-of timing of one RK4 step, reference vs fused, same input."""
-    model = SQGModel(SQGParameters(nx=STEP_GRID[0], ny=STEP_GRID[1]))
+    """Best-of timing of one RK4 step: batched vs per-member, plus determinism."""
+    params = SQGParameters(nx=STEP_GRID[0], ny=STEP_GRID[1])
+    model = SQGModel(params)
+    other = SQGModel(params)  # fresh workspaces: determinism cross-check
     spec = _ensemble_spec(model, members, seed=2024)
     model.step_spectral(spec)  # build the workspace outside the timed region
 
-    t_ref, ref = best_of(lambda: model.step_spectral_reference(spec), repeats=5)
     t_new, new = best_of(lambda: model.step_spectral(spec), repeats=5)
-
-    return {
+    row = {
         "grid": list(STEP_GRID),
         "members": int(members) if members else 1,
-        "reference_s": t_ref,
         "optimized_s": t_new,
-        "speedup": BenchRecorder.speedup(t_ref, t_new),
-        "max_coeff_delta": float(np.abs(ref - new).max()),
+        "max_coeff_delta": float(np.abs(other.step_spectral(spec) - new).max()),
         "fft_backend": model.spectral.fft.name,
     }
+    if members:
+        # M single-member steps vs one batched M-member step: the batching
+        # gain (FFT dispatch + workspace traffic amortization).
+        model.step_spectral(spec[0])  # warm the single-member workspace
+        t_loop, _ = best_of(
+            lambda: [model.step_spectral(spec[m]) for m in range(members)],
+            repeats=3,
+        )
+        row["per_member_loop_s"] = t_loop
+        row["batching_speedup"] = BenchRecorder.speedup(t_loop, t_new)
+    return row
 
 
 def _legacy_inlined_osse(truth_model, forecast_model, filter_, operator, truth0, config):
@@ -302,8 +308,9 @@ def forecast_record():
     cases = [_bench_step_case(members) for members in (0, N_MEMBERS)]
     headline = cases[-1]  # the 20-member ensemble step
     for row in cases:
-        recorder.add("step_reference", row["reference_s"])
         recorder.add("step_fused", row["optimized_s"])
+        if "per_member_loop_s" in row:
+            recorder.add("step_per_member_loop", row["per_member_loop_s"])
     overhead = _bench_engine_overhead()
     retry = _bench_retry_overhead()
     paper = _bench_osse_paper_scale()
@@ -323,23 +330,27 @@ def forecast_record():
     )
 
 
-def test_step_speedup_and_exactness(forecast_record, report):
+def test_step_batching_and_exactness(forecast_record, report):
     rows = forecast_record["forecast_step_cases"]
     report(
         "Fused SQG forecast step (64x64)",
         [
-            f"m={row['members']:3d}: {row['speedup']:.2f}x "
-            f"(ref {row['reference_s']*1e3:.1f} ms -> {row['optimized_s']*1e3:.1f} ms, "
-            f"delta {row['max_coeff_delta']:.1e})"
+            f"m={row['members']:3d}: {row['optimized_s']*1e3:.1f} ms"
+            + (
+                f" ({row['batching_speedup']:.2f}x vs per-member loop)"
+                if "batching_speedup" in row
+                else ""
+            )
+            + f", determinism delta {row['max_coeff_delta']:.1e}"
             for row in rows
         ],
     )
     for row in rows:
-        # bit-exact: stronger than the 1e-12 budget
+        # bit-exact across independent model instances (fresh workspaces)
         assert row["max_coeff_delta"] == 0.0
-        # conservative floor for a noisy single-core host; see module docstring
-        assert row["speedup"] >= 1.1
+    # one batched M-member step must beat M single-member steps
     assert forecast_record["forecast_step"]["members"] == N_MEMBERS
+    assert forecast_record["forecast_step"]["batching_speedup"] >= 1.1
 
 
 def test_engine_overhead_and_parity(forecast_record, report):

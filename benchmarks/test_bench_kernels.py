@@ -1,36 +1,37 @@
-"""Analysis-kernel speedup benchmark: batched LETKF and fused EnSF.
+"""Analysis-kernel throughput benchmark: batched LETKF and fused EnSF.
 
-Measures the vectorized analysis kernels introduced by the
-geometry-cached/batched refactor against the pre-refactor reference
-implementations (kept as ``LETKF.analyze_reference`` and the
-``fused=False`` EnSF configuration) and persists the record to
-``BENCH_kernels.json`` at the repository root.
+Records steady-state wall time and determinism of the vectorized analysis
+kernels and persists the record to ``BENCH_kernels.json`` at the repository
+root.  The pre-refactor reference implementations this file used to race
+against (``LETKF.analyze_reference``, the ``fused=False`` EnSF
+configuration) are **retired** (ROADMAP "reference-path retirement"); the
+historical speedups they certified — ≥5× for the batched LETKF at 64×64,
+≥2× for the fused EnSF analysis — are frozen in the pre-retirement
+``BENCH_kernels.json`` history and in CHANGES.md.  What remains asserted
+on every refresh is what current code can still prove:
+
+* geometry-cache amortization — the first batched LETKF analysis pays the
+  geometry build; steady-state cycles must be measurably cheaper;
+* repeat determinism — re-running an analysis through the cached
+  geometry/workspaces must be bit-identical;
+* EnSF seeded reproducibility — two identically-seeded analyses must
+  consume the random stream identically and match bit for bit.
 
 Record layout (see :mod:`repro.utils.timing` for the generic format)::
 
     {
       "benchmark": "analysis-kernels",
-      "letkf": {grid, members, n_obs, cutoff_m, reference_s, optimized_s,
-                speedup, geometry_build_s, rmse_delta, max_member_delta},
+      "letkf": {grid, members, n_obs, cutoff_m, first_call_s, optimized_s,
+                geometry_build_s, cache_amortization, max_repeat_delta},
       "letkf_sharded": {cases: [ ...per grid: serial_s + worker sweep... ],
                         speedup_note},
-      "ensf":  {grid, members, sampler, n_sde_steps, reference_s,
-                optimized_s, speedup, rng_stream_parity, rmse_delta,
-                max_member_delta},
+      "ensf":  {grid, members, sampler, n_sde_steps, optimized_s,
+                rng_stream_parity, max_repeat_delta},
       "ensf_cases": [ ...one row per (grid, sampler mode)... ]
     }
 
-Targets (asserted below): ≥5× for the LETKF analysis step at the paper's
-64×64 grid with M = 20 members, ≥2× for the EnSF analysis step at M = 20,
-with seeded analysis-RMSE parity between the optimized and reference paths.
-
-EnSF is benchmarked in both sampler modes.  In the reverse-SDE mode both
-paths must draw *identical* Brownian increments (that parity is asserted via
-the generator state), so the wall-clock of Gaussian generation — ~40 % of
-even the reference analysis on this host — is common to numerator and
-denominator and dilutes the observable ratio; the probability-flow ODE mode
-exposes the full fused-score-path speedup.  The headline ``"ensf"`` entry is
-the fastest-improving case; every case is recorded in ``"ensf_cases"``.
+EnSF is benchmarked in both sampler modes; the headline ``"ensf"`` entry is
+the fastest case, every case is recorded in ``"ensf_cases"``.
 """
 
 import json
@@ -80,13 +81,11 @@ def _bench_letkf():
     grid, ensemble, truth, operator, observation, config = _letkf_case()
     letkf = LETKF(grid, config)
 
-    t_ref, ref = best_of(lambda: letkf.analyze_reference(ensemble, observation, operator))
-
     # First batched call builds and caches the geometry; steady-state cycles
     # (what an OSSE pays per analysis) reuse it.
     build_start = time.perf_counter()
-    letkf.analyze(ensemble, observation, operator)
-    t_build = time.perf_counter() - build_start
+    first = letkf.analyze(ensemble, observation, operator)
+    t_first = time.perf_counter() - build_start
     t_new, new = best_of(lambda: letkf.analyze(ensemble, observation, operator))
 
     return {
@@ -94,12 +93,14 @@ def _bench_letkf():
         "members": N_MEMBERS,
         "n_obs": int(operator.obs_dim),
         "cutoff_m": config.localization.cutoff,
-        "reference_s": t_ref,
+        "first_call_s": t_first,
         "optimized_s": t_new,
-        "speedup": BenchRecorder.speedup(t_ref, t_new),
-        "geometry_build_s": t_build - t_new,
-        "rmse_delta": abs(_rmse(ref, truth) - _rmse(new, truth)),
-        "max_member_delta": float(np.abs(ref - new).max()),
+        "geometry_build_s": t_first - t_new,
+        # how much of the first call was one-time geometry build — the
+        # amortization steady-state cycles enjoy
+        "cache_amortization": BenchRecorder.speedup(t_first, t_new),
+        "analysis_rmse": _rmse(new, truth),
+        "max_repeat_delta": float(np.abs(first - new).max()),
     }
 
 
@@ -190,28 +191,26 @@ def _bench_ensf_case(shape, stochastic):
     operator = IdentityObservation(grid.size, 1.0)
     observation = operator.observe(truth, rng=rng)
 
-    def run(fused, seed):
-        filt = EnSF(EnSFConfig(fused=fused, stochastic_sampler=stochastic), rng=seed)
+    def run(seed):
+        filt = EnSF(EnSFConfig(stochastic_sampler=stochastic), rng=seed)
         analysis = filt.analyze(ensemble, observation, operator)
         return filt, analysis
 
-    t_ref, (ref_filter, ref) = best_of(lambda: run(fused=False, seed=2024), repeats=5)
-    t_new, (new_filter, new) = best_of(lambda: run(fused=True, seed=2024), repeats=5)
+    t_a, (filt_a, a) = best_of(lambda: run(seed=2024), repeats=5)
+    t_b, (filt_b, b) = best_of(lambda: run(seed=2024), repeats=5)
 
     return {
         "grid": list(shape),
         "members": N_MEMBERS,
         "sampler": "reverse-sde" if stochastic else "probability-flow-ode",
         "n_sde_steps": EnSFConfig().n_sde_steps,
-        "reference_s": t_ref,
-        "optimized_s": t_new,
-        "speedup": BenchRecorder.speedup(t_ref, t_new),
-        # Identical consumption of the PCG64 stream => the fused path drew
-        # exactly the same Gaussians as the reference path.
-        "rng_stream_parity": ref_filter.rng.bit_generator.state
-        == new_filter.rng.bit_generator.state,
-        "rmse_delta": abs(_rmse(ref, truth) - _rmse(new, truth)),
-        "max_member_delta": float(np.abs(ref - new).max()),
+        "optimized_s": min(t_a, t_b),
+        # Identical consumption of the PCG64 stream => two identically-seeded
+        # analyses drew exactly the same Gaussians.
+        "rng_stream_parity": filt_a.rng.bit_generator.state
+        == filt_b.rng.bit_generator.state,
+        "analysis_rmse": _rmse(a, truth),
+        "max_repeat_delta": float(np.abs(a - b).max()),
     }
 
 
@@ -219,7 +218,7 @@ def _bench_ensf_case(shape, stochastic):
 def kernel_record():
     recorder = BenchRecorder()
     letkf = _bench_letkf()
-    recorder.add("letkf_reference", letkf["reference_s"])
+    recorder.add("letkf_first_call", letkf["first_call_s"])
     recorder.add("letkf_batched", letkf["optimized_s"])
     letkf_sharded = _bench_letkf_sharded()
     for row in letkf_sharded["cases"]:
@@ -233,9 +232,8 @@ def kernel_record():
         for stochastic in (True, False)
     ]
     for row in cases:
-        recorder.add(f"ensf_{row['sampler']}_reference", row["reference_s"])
         recorder.add(f"ensf_{row['sampler']}_fused", row["optimized_s"])
-    ensf = max(cases, key=lambda row: row["speedup"])
+    ensf = min(cases, key=lambda row: row["optimized_s"])
     from repro.utils.xp import default_backend_name
 
     return recorder.write_json(
@@ -249,15 +247,17 @@ def kernel_record():
     )
 
 
-def test_letkf_batched_speedup(kernel_record, report):
+def test_letkf_batched_steady_state(kernel_record, report):
     row = kernel_record["letkf"]
     report(
         "LETKF batched analysis kernel (64x64, M=20)",
         [f"{k}: {v}" for k, v in row.items()],
     )
-    assert row["rmse_delta"] < 1.0e-8
-    assert row["max_member_delta"] < 1.0e-10
-    assert row["speedup"] >= 5.0
+    # Repeat analyses through the cached geometry are bit-identical, and the
+    # one-time geometry build dominates the first call (so steady-state OSSE
+    # cycles are meaningfully cheaper than a cache-cold analysis).
+    assert row["max_repeat_delta"] == 0.0
+    assert row["cache_amortization"] >= 1.2
 
 
 def test_letkf_sharded_worker_sweep(kernel_record, report):
@@ -280,28 +280,24 @@ def test_letkf_sharded_worker_sweep(kernel_record, report):
             assert wrow["bit_identical_to_n_workers_1"]
 
 
-def test_ensf_fused_speedup(kernel_record, report):
+def test_ensf_fused_reproducibility(kernel_record, report):
     rows = kernel_record["ensf_cases"]
     report(
         "EnSF fused analysis kernel (M=20)",
         [
             f"{row['grid'][0]}x{row['grid'][1]} {row['sampler']}: "
-            f"{row['speedup']:.2f}x (ref {row['reference_s']:.4f}s)"
+            f"{row['optimized_s']:.4f}s (repeat delta {row['max_repeat_delta']:.1e})"
             for row in rows
         ],
     )
     for row in rows:
         assert row["rng_stream_parity"]
-        assert row["rmse_delta"] < 1.0e-8
-        # Even in the noise-generation-bound reverse-SDE mode the fused path
-        # must be a solid improvement (floor kept below the typical ~1.5x
-        # to absorb single-core timing noise).
-        assert row["speedup"] >= 1.15
-    assert kernel_record["ensf"]["speedup"] >= 2.0
+        assert row["max_repeat_delta"] == 0.0
+        assert np.isfinite(row["analysis_rmse"])
 
 
 def test_record_written(kernel_record):
     payload = json.loads(RECORD_PATH.read_text())
     assert payload["benchmark"] == "analysis-kernels"
-    assert payload["letkf"]["speedup"] >= 5.0
-    assert payload["ensf"]["speedup"] >= 2.0
+    assert payload["letkf"]["max_repeat_delta"] == 0.0
+    assert payload["ensf"]["max_repeat_delta"] == 0.0

@@ -1,0 +1,117 @@
+"""Chaos soak for the experiment service (scripts/smoke.sh step 7).
+
+Orchestrates three child processes over one shared campaign journal:
+
+1. **kill** — submits a 6-job priority sweep and supervises it with
+   ``REPRO_FAULT_PLAN=service-kill@scheduler:<N>``: the N-th journal write
+   hard-kills the process (``os._exit(137)``) mid-campaign, exactly like a
+   node failure or OOM kill.
+2. **finish** — a fresh process, no fault plan, same journal: recovery
+   requeues every non-terminal job with ``resume=True`` and runs the
+   campaign to completion from the engine checkpoints.
+3. **clean** — the identical sweep against a separate journal with no
+   faults at all.
+
+The soak passes iff the killed-and-restarted campaign ends with every job
+``done`` and RMSE histories **bit-identical** to the clean sweep — the
+service's whole durability contract in one assertion.
+
+Usage: python scripts/chaos_soak.py            (orchestrator)
+       python scripts/chaos_soak.py run <journal> [--expect-kill]   (child)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+N_JOBS = 6
+RUNNER = "repro.workflow.scheduler:lorenz96_ensf_job"
+PARAMS = {"dim": 12, "n_cycles": 12, "ensemble_size": 8, "n_sde_steps": 6}
+# Scheduler-site occurrences count journal writes.  The 6 submissions are
+# writes 0-5; write 9 lands mid-campaign with jobs both finished, running
+# and still queued — the interesting kill point.
+KILL_SPEC = "service-kill@scheduler:9,code=137"
+
+
+def _child_run(journal: Path, expect_kill: bool) -> None:
+    from repro.workflow import ExperimentService, ServiceConfig
+
+    config = ServiceConfig(max_running=2, retry_backoff_s=0.05, poll_s=0.02)
+    with ExperimentService(journal, config=config) as svc:
+        for i in range(N_JOBS):
+            name = f"soak-{i:02d}"
+            if name not in svc.status():
+                svc.submit(name, RUNNER, params=dict(PARAMS, seed=i), priority=i % 3)
+        states = svc.run_until_complete(timeout=600.0)
+        if expect_kill:
+            raise SystemExit(
+                f"service-kill never fired; campaign finished cleanly: {states}"
+            )
+        payload = {
+            "states": states,
+            "rmse": {name: svc.result(name)["analysis_rmse"] for name in states},
+        }
+    print(json.dumps(payload))
+
+
+def _spawn(journal: Path, *, fault_plan: str | None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env.pop("REPRO_FAULT_PLAN", None)
+    args = [sys.executable, os.path.abspath(__file__), "run", str(journal)]
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+        args.append("--expect-kill")
+    return subprocess.run(args, env=env, capture_output=True, text=True)
+
+
+def main() -> None:
+    if len(sys.argv) > 1 and sys.argv[1] == "run":
+        _child_run(Path(sys.argv[2]), expect_kill="--expect-kill" in sys.argv[3:])
+        return
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chaos_journal = Path(tmp) / "chaos" / "journal.json"
+        clean_journal = Path(tmp) / "clean" / "journal.json"
+
+        killed = _spawn(chaos_journal, fault_plan=KILL_SPEC)
+        if killed.returncode != 137:
+            sys.stderr.write(killed.stdout + killed.stderr)
+            raise SystemExit(
+                f"expected the fault plan to kill the campaign with exit 137, "
+                f"got {killed.returncode}"
+            )
+        print(f"campaign killed mid-flight (exit {killed.returncode}) -- restarting")
+
+        finished = _spawn(chaos_journal, fault_plan=None)
+        if finished.returncode != 0:
+            sys.stderr.write(finished.stdout + finished.stderr)
+            raise SystemExit(f"restarted campaign failed (exit {finished.returncode})")
+        chaos = json.loads(finished.stdout.strip().splitlines()[-1])
+
+        clean_run = _spawn(clean_journal, fault_plan=None)
+        if clean_run.returncode != 0:
+            sys.stderr.write(clean_run.stdout + clean_run.stderr)
+            raise SystemExit(f"clean sweep failed (exit {clean_run.returncode})")
+        clean = json.loads(clean_run.stdout.strip().splitlines()[-1])
+
+    expected = {f"soak-{i:02d}": "done" for i in range(N_JOBS)}
+    if chaos["states"] != expected:
+        raise SystemExit(f"restarted campaign did not finish every job: {chaos['states']}")
+    if chaos["rmse"] != clean["rmse"]:
+        diverged = sorted(
+            name for name in clean["rmse"] if chaos["rmse"].get(name) != clean["rmse"][name]
+        )
+        raise SystemExit(f"RMSE diverged from the clean sweep for: {diverged}")
+    print(
+        f"chaos soak OK: {N_JOBS} jobs killed+restarted, all done, "
+        f"RMSE bit-identical to the clean sweep"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,16 +23,20 @@
 #      (visible in the FaultLog), and produce exact-zero RMSE deltas versus
 #      the clean run — including a resume="auto" that walks past the torn
 #      checkpoint.
-#   7. The tier-1 suite itself must pass; --durations=10 surfaces creeping
+#   7. The experiment service must survive a chaos soak: a multi-job
+#      priority sweep hard-killed mid-campaign (service-kill injected via
+#      REPRO_FAULT_PLAN, exit 137), then restarted from the journal, must
+#      finish every job with RMSE bit-identical to an undisturbed sweep.
+#   8. The tier-1 suite itself must pass; --durations=10 surfaces creeping
 #      slow tests.
-# Usage: scripts/smoke.sh [extra pytest args for step 7]
+# Usage: scripts/smoke.sh [extra pytest args for step 8]
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== smoke 1/7: collection with scipy blocked (numpy-only install) =="
+echo "== smoke 1/8: collection with scipy blocked (numpy-only install) =="
 python - <<'EOF'
 import sys
 
@@ -62,10 +66,10 @@ if rc != 0:
 print("collection OK without scipy")
 EOF
 
-echo "== smoke 2/7: parallel-analysis worker invariance (n_workers=2 pool) =="
+echo "== smoke 2/8: parallel-analysis worker invariance (n_workers=2 pool) =="
 python -m pytest -x -q tests/unit/test_hpc.py::TestParallelAnalysis
 
-echo "== smoke 3/7: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
+echo "== smoke 3/8: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
 # Prove the env-var resolution path itself in a fresh process (the
 # backend-parametrized fixture clears the env var to control its own
 # selection, so this assertion is the part the suite below cannot cover).
@@ -83,7 +87,7 @@ REPRO_ARRAY_BACKEND=mock-device python -m pytest -x -q \
     tests/unit/test_xp_backend.py tests/unit/test_kernels.py \
     tests/unit/test_forecast_kernels.py
 
-echo "== smoke 4/7: BENCH_*.json schema sanity =="
+echo "== smoke 4/8: BENCH_*.json schema sanity =="
 python - <<'EOF'
 import json
 
@@ -118,7 +122,7 @@ for path, spec in SPECS.items():
 print("BENCH schema OK")
 EOF
 
-echo "== smoke 5/7: streaming scenario end-to-end + checkpoint/kill/resume =="
+echo "== smoke 5/8: streaming scenario end-to-end + checkpoint/kill/resume =="
 python - <<'EOF'
 import os
 import tempfile
@@ -165,7 +169,7 @@ assert np.array_equal(resumed.analysis_rmse, full.analysis_rmse)
 print("scenario run OK; checkpoint/kill/resume bit-identical")
 EOF
 
-echo "== smoke 6/7: recorded fault-sequence replay (REPRO_FAULT_PLAN) =="
+echo "== smoke 6/8: recorded fault-sequence replay (REPRO_FAULT_PLAN) =="
 python - <<'EOF'
 import os
 import tempfile
@@ -246,5 +250,8 @@ with tempfile.TemporaryDirectory() as tmp:
 print("fault replay OK: all recoveries logged, RMSE deltas exactly zero")
 EOF
 
-echo "== smoke 7/7: tier-1 suite with --durations=10 =="
+echo "== smoke 7/8: experiment-service chaos soak (kill + restart + bit-identity) =="
+python scripts/chaos_soak.py
+
+echo "== smoke 8/8: tier-1 suite with --durations=10 =="
 exec python -m pytest -x -q --durations=10 "$@"

@@ -63,14 +63,6 @@ class EnSFConfig:
         reproduces the paper's "relax to prior spread" stabilisation.
     stochastic_sampler:
         Integrate the reverse SDE (True) or the probability-flow ODE (False).
-    fused:
-        Use the fused analysis kernels (default): the in-place Monte-Carlo
-        score path (:meth:`MonteCarloScoreEstimator.score_into`), a
-        likelihood-score accumulation specialised for (scaled) identity and
-        subsampled operators, and the buffered reverse-SDE integrator.  The
-        random stream consumption is identical to the reference path
-        (``fused=False``); member states differ only by floating-point
-        reassociation.
     scale_states:
         Normalise the ensemble (per-variable affine map to roughly unit range)
         before diffusion and undo the scaling afterwards.  Score-based
@@ -96,7 +88,6 @@ class EnSFConfig:
     scale_states: bool = True
     obs_var_stability_factor: float = 2.0
     damping: object = field(default_factory=LinearDamping)
-    fused: bool = True
     backend: str | None = None
 
     def __post_init__(self) -> None:
@@ -279,7 +270,6 @@ class EnSF(EnsembleFilter):
             n_steps=self.config.n_sde_steps,
             stochastic=self.config.stochastic_sampler,
             t_start=self.config.t_start,
-            reuse_buffers=self.config.fused,
             backend=self.config.backend,
         )
 
@@ -299,14 +289,7 @@ class EnSF(EnsembleFilter):
             backend=self.config.backend,
         )
         likelihood = GaussianLikelihoodScore(operator, observation, damping=self.config.damping)
-
-        if self.config.fused:
-            return _FusedPosteriorScore(prior, likelihood, operator, observation)
-
-        def score(z: np.ndarray, t: float) -> np.ndarray:
-            return prior.score_reference(z, t) + likelihood.damped_score(z, t)
-
-        return score
+        return _FusedPosteriorScore(prior, likelihood, operator, observation)
 
     def _analysis_samples(
         self,

@@ -22,8 +22,8 @@ precomputed by the buffered sampler, see :mod:`repro.core.sde`), and
 ``log_weights → weights → score`` collapse into a single in-place evaluation
 (:meth:`MonteCarloScoreEstimator.score_into`) that performs one GEMM for the
 cross terms and one for the weighted mean, writing every intermediate into
-preallocated workspaces.  :meth:`MonteCarloScoreEstimator.score_reference`
-keeps the original allocating implementation as the numerical oracle.
+preallocated workspaces.  (The original allocating implementation served as
+the numerical oracle through several releases and has been retired.)
 """
 
 from __future__ import annotations
@@ -226,24 +226,6 @@ class MonteCarloScoreEstimator:
         self.score_into(z_dev, t, out)
         out = xp.to_host(out)
         return out[0] if squeeze else out
-
-    def score_reference(self, z: np.ndarray, t: float) -> np.ndarray:
-        """Pre-refactor allocating score evaluation (numerical oracle)."""
-        z_in = np.asarray(z, dtype=float)
-        squeeze = z_in.ndim == 1
-        z2d = np.atleast_2d(z_in)
-        if z2d.shape[1] != self.dim:
-            raise ValueError(f"points have dimension {z2d.shape[1]}, ensemble has {self.dim}")
-
-        batch = self._select_batch()
-        alpha = float(self.schedule.alpha(t))
-        beta_sq = float(self.schedule.beta_sq(t))
-        w = self.weights(z2d, t, batch=batch)  # (n, J)
-
-        # ŝ(z) = -(z - α Σ_j w_j x_j) / β²  because Σ_j w_j = 1.
-        weighted_mean = w @ batch  # (n, d)
-        score = -(z2d - alpha * weighted_mean) / beta_sq
-        return score[0] if squeeze else score
 
     def __call__(self, z: np.ndarray, t: float) -> np.ndarray:
         return self.score(z, t)

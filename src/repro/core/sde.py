@@ -10,13 +10,13 @@ score supplied by the caller.  The paper discretises this with an Euler
 scheme; we additionally expose a predictor-only (probability-flow ODE) mode
 for deterministic ablations.
 
-The default integrator (``reuse_buffers=True``) precomputes the per-step
-schedule constants once, performs the Euler update in place, and reuses a
-single drift buffer and a single noise buffer across all steps (Gaussian
-increments are drawn directly into the noise buffer with
-``Generator.standard_normal(out=...)``, which consumes the random stream
-identically to the allocating call).  ``reuse_buffers=False`` keeps the
-original allocating step loop as the reference path for equivalence tests.
+The integrator precomputes the per-step schedule constants once, performs
+the Euler update in place, and reuses a single drift buffer and a single
+noise buffer across all steps (Gaussian increments are drawn directly into
+the noise buffer with ``Generator.standard_normal(out=...)``, which
+consumes the random stream identically to the allocating call).  (The
+original allocating step loop served as the numerical oracle through
+several releases of equivalence testing and has been retired.)
 """
 
 from __future__ import annotations
@@ -49,11 +49,6 @@ class ReverseSDESampler:
         ``dZ = [b Z − ½ σ² s] dt`` is integrated instead.
     t_end, t_start:
         Pseudo-time integration limits (defaults: from 1 down to 0).
-    reuse_buffers:
-        Use the fused in-place Euler loop with persistent drift/noise
-        buffers (default).  The random stream consumption is identical to
-        the reference loop; results differ only by floating-point
-        reassociation.
     backend:
         Array backend (name, :class:`~repro.utils.xp.ArrayBackend`, or
         ``None`` for the ``REPRO_ARRAY_BACKEND`` default) used by the
@@ -62,8 +57,7 @@ class ReverseSDESampler:
         one device→host move at the end); Gaussian increments always come
         from the host ``rng`` stream (see
         :meth:`ArrayBackend.standard_normal`), so trajectories are
-        backend-reproducible.  The reference loop is the pre-shim oracle
-        and always runs on the host.
+        backend-reproducible.
     """
 
     def __init__(
@@ -74,7 +68,6 @@ class ReverseSDESampler:
         t_end: float = 1.0,
         t_start: float = 0.0,
         max_state_magnitude: float = 1.0e3,
-        reuse_buffers: bool = True,
         backend: str | ArrayBackend | None = None,
     ) -> None:
         if n_steps < 1:
@@ -89,7 +82,6 @@ class ReverseSDESampler:
         # overshoot; clamping prevents overflow while leaving well-resolved
         # integrations untouched.
         self.max_state_magnitude = float(max_state_magnitude)
-        self.reuse_buffers = bool(reuse_buffers)
         self.xp = resolve_backend(backend)
 
     def sample(
@@ -130,12 +122,9 @@ class ReverseSDESampler:
         grid = self.schedule.time_grid(self.n_steps, t_end=self.t_end, t_start=self.t_start)
         trajectory = [z.copy()] if return_trajectory else None
 
-        if self.reuse_buffers:
-            z = self.xp.to_device(z)
-            self._integrate_buffered(score_fn, z, grid, rng, trajectory)
-            z = self.xp.to_host(z)
-        else:
-            z = self._integrate_reference(score_fn, z, grid, rng, trajectory)
+        z = self.xp.to_device(z)
+        self._integrate_buffered(score_fn, z, grid, rng, trajectory)
+        z = self.xp.to_host(z)
 
         if return_trajectory:
             return np.array(trajectory)
@@ -184,30 +173,3 @@ class ReverseSDESampler:
                 trajectory.append(xp.to_host(z.copy()))
         return z
 
-    def _integrate_reference(
-        self,
-        score_fn: ScoreFn,
-        z: np.ndarray,
-        grid: np.ndarray,
-        rng: np.random.Generator,
-        trajectory: list | None,
-    ) -> np.ndarray:
-        """Pre-refactor allocating Euler loop (numerical oracle)."""
-        for i in range(self.n_steps):
-            t = float(grid[i])
-            dt = float(grid[i] - grid[i + 1])  # positive step size
-            b = float(self.schedule.drift_coeff(t))
-            sigma_sq = float(self.schedule.diffusion_sq(t))
-            score = score_fn(z, t)
-            if self.stochastic:
-                drift = b * z - sigma_sq * score
-                noise = rng.standard_normal(z.shape)
-                z = z - drift * dt + np.sqrt(sigma_sq * dt) * noise
-            else:
-                drift = b * z - 0.5 * sigma_sq * score
-                z = z - drift * dt
-            if self.max_state_magnitude > 0:
-                z = np.clip(z, -self.max_state_magnitude, self.max_state_magnitude)
-            if trajectory is not None:
-                trajectory.append(z.copy())
-        return z

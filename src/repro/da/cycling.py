@@ -172,6 +172,7 @@ def run_osse(
     divergence: DivergencePolicy | None = None,
     fault_plan: FaultPlan | None = None,
     fault_log: FaultLog | None = None,
+    preempt=None,
 ) -> CyclingResult:
     """Run one cycling DA experiment.
 
@@ -250,6 +251,10 @@ def run_osse(
         and engine's recoveries and is returned in
         ``CyclingResult.fault_log`` (an ``executor`` keeps its own
         ``executor.fault_log`` for shard-level recoveries).
+    preempt:
+        Optional zero-argument callable polled at every cycle boundary; see
+        :meth:`~repro.workflow.engine.CycleEngine.run`.  Used by the
+        experiment service for checkpoint-based preemption.
     """
     fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
     fault_log = fault_log if fault_log is not None else FaultLog()
@@ -310,6 +315,7 @@ def run_osse(
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_path,
         keep_last=keep_last,
+        preempt=preempt,
     )
 
     return CyclingResult(

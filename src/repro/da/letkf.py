@@ -18,23 +18,16 @@ reduces to whole-column updates).
 
 Vectorized analysis kernels
 ---------------------------
-Two implementations of the analysis are provided:
-
-* :meth:`LETKF.analyze` (default) — the **batched kernel**.  A
-  :class:`~repro.da.localization.LocalAnalysisGeometry` is built once per
-  ``(grid, observation network)`` pair and cached across cycles; the local
-  eigenproblems of all columns are then solved with a single stacked
-  ``np.linalg.eigh`` over ``(n_columns, m, m)`` tensors and the weights are
-  applied with batched matrix products.  The local Gram matrices are
-  assembled either by circular FFT convolution (uniform observation errors,
-  ``min_weight == 0``) or by grouped gathers over precomputed footprints.
-* :meth:`LETKF.analyze_reference` — the original per-column Python loop,
-  kept verbatim as the numerical oracle for the equivalence tests and the
-  fallback for irregular setups (``use_batched=False``).
-
-Both paths produce member-wise identical analyses up to floating-point
-round-off (the equivalence is asserted in ``tests/unit/test_kernels.py``
-and benchmarked in ``benchmarks/test_bench_kernels.py``).
+:meth:`LETKF.analyze` is the **batched kernel**.  A
+:class:`~repro.da.localization.LocalAnalysisGeometry` is built once per
+``(grid, observation network)`` pair and cached across cycles; the local
+eigenproblems of all columns are then solved with a single stacked
+``np.linalg.eigh`` over ``(n_columns, m, m)`` tensors and the weights are
+applied with batched matrix products.  The local Gram matrices are
+assembled either by circular FFT convolution (uniform observation errors,
+``min_weight == 0``) or by grouped gathers over precomputed footprints.
+(The original per-column Python loop served as the numerical oracle through
+several releases of equivalence testing and has since been retired.)
 
 Column-sharded parallel analysis
 --------------------------------
@@ -70,10 +63,9 @@ from repro.da.inflation import multiplicative_inflation, rtps_inflation
 from repro.da.localization import (
     LocalAnalysisGeometry,
     LocalizationConfig,
-    gaspari_cohn,
     geometry_cache_key,
 )
-from repro.utils.grid import Grid2D, periodic_distance_matrix
+from repro.utils.grid import Grid2D
 from repro.utils.xp import ArrayBackend, resolve_backend
 
 __all__ = ["LETKFConfig", "LETKF", "solve_local_batch"]
@@ -226,10 +218,6 @@ class LETKFConfig:
 
     Attributes
     ----------
-    use_batched:
-        Use the vectorized analysis kernels (default).  Set to ``False`` to
-        force the reference per-column loop, e.g. for irregular operators or
-        debugging.
     block_columns:
         Upper bound on the number of columns per grouped-gather block; caps
         the peak size of the stacked local-observation tensors.
@@ -249,7 +237,6 @@ class LETKFConfig:
     localization: LocalizationConfig = field(default_factory=LocalizationConfig)
     rtps_factor: float = 0.3
     prior_inflation: float = 1.0
-    use_batched: bool = True
     block_columns: int = 512
     shard_columns: int = 1024
     backend: str | None = None
@@ -313,13 +300,6 @@ class LETKF(EnsembleFilter):
             "LETKF needs observation locations: pass obs_columns for operators "
             f"of type {type(operator).__name__}"
         )
-
-    def _local_obs_geometry(self, operator: ObservationOperator) -> tuple[np.ndarray, np.ndarray]:
-        """Distances (n_columns, n_obs) and observation column coordinates."""
-        obs_columns = self._resolve_obs_columns(operator)
-        coords = self.grid.point_coordinates()
-        obs_xy = coords[obs_columns]
-        return coords, obs_xy
 
     def geometry(self, operator: ObservationOperator) -> LocalAnalysisGeometry:
         """Cached :class:`LocalAnalysisGeometry` for ``operator``'s network."""
@@ -386,8 +366,6 @@ class LETKF(EnsembleFilter):
         observation: np.ndarray,
         operator: ObservationOperator,
     ) -> np.ndarray:
-        if not self.config.use_batched:
-            return self.analyze_reference(forecast_ensemble, observation, operator)
         forecast_ensemble = self._validate(forecast_ensemble)
         observation = np.asarray(observation, dtype=float)
 
@@ -425,10 +403,10 @@ class LETKF(EnsembleFilter):
         and the results are scatter-gathered into the analysis array before
         the global RTPS inflation.  The shard decomposition never depends on
         the worker count, so results are bit-identical for any executor
-        layout; with ``executor=None`` (or the reference configuration) the
-        serial :meth:`analyze` runs instead.
+        layout; with ``executor=None`` the serial :meth:`analyze` runs
+        instead.
         """
-        if executor is None or not self.config.use_batched:
+        if executor is None:
             return self.analyze(forecast_ensemble, observation, operator)
         forecast_ensemble = self._validate(forecast_ensemble)
         observation = np.asarray(observation, dtype=float)
@@ -639,73 +617,3 @@ class LETKF(EnsembleFilter):
                 )
         return xp.to_host(analysis)
 
-    # ------------------------------------------------------------------ #
-    def analyze_reference(
-        self,
-        forecast_ensemble: np.ndarray,
-        observation: np.ndarray,
-        operator: ObservationOperator,
-    ) -> np.ndarray:
-        """Pre-refactor per-column analysis loop (numerical oracle).
-
-        This is the original implementation kept verbatim: it rebuilds the
-        periodic distances and Gaspari–Cohn weights for every column on every
-        call and solves one ``eigh`` per column.  The batched kernels are
-        validated member-wise against it.
-        """
-        forecast_ensemble = self._validate(forecast_ensemble)
-        observation = np.asarray(observation, dtype=float)
-
-        prior = forecast_ensemble
-        if self.config.prior_inflation > 1.0:
-            prior = multiplicative_inflation(prior, self.config.prior_inflation)
-
-        # Ensemble statistics in state and observation space.
-        x_mean = prior.mean(axis=0)
-        x_pert = prior - x_mean
-        y_ens = operator.apply(prior)
-        y_mean = y_ens.mean(axis=0)
-        y_pert = y_ens - y_mean
-        innovation = observation - y_mean
-
-        coords, obs_xy = self._local_obs_geometry(operator)
-        n_columns = self.grid.ny * self.grid.nx
-        n_levels = self.grid.nlev
-        cutoff = self.config.localization.cutoff
-        min_weight = self.config.localization.min_weight
-        obs_var = operator.obs_error_var
-
-        n_members = prior.shape[0]
-        analysis = np.empty_like(prior)
-        eye = np.eye(n_members)
-
-        for col in range(n_columns):
-            dist = periodic_distance_matrix(
-                coords[col][None, :], obs_xy, self.grid.lx, self.grid.ly
-            )[0]
-            loc_w = gaspari_cohn(dist, cutoff)
-            sel = loc_w > min_weight
-            state_idx = col + np.arange(n_levels) * n_columns
-
-            if not np.any(sel):
-                analysis[:, state_idx] = prior[:, state_idx]
-                continue
-
-            r_inv = loc_w[sel] / obs_var[sel]
-            y_loc = y_pert[:, sel]                      # (m, p_local)
-            c_mat = y_loc * r_inv                        # (m, p_local)
-            a_mat = (n_members - 1) * eye + c_mat @ y_loc.T
-
-            evals, evecs = np.linalg.eigh(a_mat)
-            evals = np.maximum(evals, 1.0e-12)
-            pa_tilde = (evecs / evals) @ evecs.T
-            w_transform = (evecs * np.sqrt((n_members - 1) / evals)) @ evecs.T
-            w_mean = pa_tilde @ (c_mat @ innovation[sel])
-            weights = w_transform + w_mean[:, None]      # (m, m): column i → member i
-
-            local_pert = x_pert[:, state_idx]            # (m, nlev)
-            analysis[:, state_idx] = x_mean[state_idx] + weights.T @ local_pert
-
-        if self.config.rtps_factor > 0.0:
-            analysis = rtps_inflation(analysis, forecast_ensemble, self.config.rtps_factor)
-        return analysis

@@ -22,6 +22,7 @@ the columns into fixed-size shards that do not depend on the worker count.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -30,7 +31,7 @@ import numpy as np
 
 from repro.utils.faults import FaultInjected, FaultLog, FaultPlan
 
-__all__ = ["ensemble_slices", "EnsembleExecutor", "ShardRetryError"]
+__all__ = ["ensemble_slices", "EnsembleExecutor", "ExecutorLease", "ShardRetryError"]
 
 # Failures worth recomputing the shard for: a dead worker pool, a shard that
 # blew its deadline, or an injected fault.  Anything else (a ValueError from
@@ -124,8 +125,18 @@ class EnsembleExecutor:
         retried (dead pool, blown deadline, injected fault) — exceptions
         raised by the job function itself always propagate.
     retry_backoff_s:
-        Base of the exponential backoff between retry attempts
-        (``retry_backoff_s * 2**(attempt-1)`` seconds).
+        Base of the exponential backoff between retry attempts:
+        ``retry_backoff_s * 2**(attempt-1) * uniform(0.5, 1.5)`` seconds.
+        The jitter factor decorrelates the retry storms of co-scheduled
+        jobs sharing one machine (without it, jobs that crashed together —
+        e.g. on a pool death — retry in lockstep and collide again).  It is
+        drawn from a **dedicated** backoff rng private to this executor:
+        no experiment rng stream (member streams, observation noise,
+        seed-sequence factories) is ever touched, so results remain
+        bit-identical regardless of how many retries were jittered.
+    backoff_seed:
+        Optional seed for the dedicated backoff rng (default: fresh OS
+        entropy).  Only timing is affected — results never depend on it.
     task_deadline_s:
         Wall-clock budget for one gather attempt on the pool.  Shards still
         running when it expires are treated as hung: the pool is terminated,
@@ -148,6 +159,7 @@ class EnsembleExecutor:
         task_deadline_s: float | None = None,
         fault_plan: FaultPlan | None = None,
         fault_log: FaultLog | None = None,
+        backoff_seed: int | None = None,
     ):
         if n_workers is None:
             n_workers = min(8, os.cpu_count() or 1)
@@ -163,6 +175,15 @@ class EnsembleExecutor:
         self.task_deadline_s = None if task_deadline_s is None else float(task_deadline_s)
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self.fault_log = fault_log if fault_log is not None else FaultLog()
+        # Dedicated, non-experiment rng for backoff jitter (see class doc).
+        self._backoff_rng = np.random.default_rng(backoff_seed)
+        self._backoff_lock = threading.Lock()
+        # Pool management must be serialized: with an experiment service the
+        # same pool is shared by many concurrent jobs, and an unlocked
+        # rebuild racing a concurrent acquire would leak (or double-kill)
+        # worker processes.  Submission/gather stay lock-free — only
+        # acquire/discard/close take the lock.
+        self._pool_lock = threading.RLock()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
 
@@ -171,17 +192,17 @@ class EnsembleExecutor:
         by_size = max(1, n_members // self.min_members_per_worker)
         return max(1, min(self.n_workers, by_size))
 
-    def _faults_for(self, pending: list[int]) -> dict:
+    def _faults_for(self, pending: list[int], fault_plan: FaultPlan | None) -> dict:
         """Injected faults for this gather attempt, keyed by job index.
 
         One ``"executor"`` site visit per attempt — the counter advances
         identically for serial and pool gathers, so a fault plan hits the
         same logical shard batch under any worker layout.
         """
-        if self.fault_plan is None:
+        if fault_plan is None:
             return {}
         faults = {}
-        for event in self.fault_plan.visit("executor"):
+        for event in fault_plan.visit("executor"):
             if event.kind in ("worker-crash", "task-hang"):
                 target = pending[int(event.payload.get("job", 0)) % len(pending)]
                 faults[target] = event
@@ -190,17 +211,19 @@ class EnsembleExecutor:
     def _acquire_pool(self, workers: int) -> ProcessPoolExecutor:
         if not self.reuse_pool:
             return ProcessPoolExecutor(max_workers=workers)
-        if self._pool is None or self._pool_workers < workers:
-            self.close()
-            self._pool = ProcessPoolExecutor(max_workers=workers)
-            self._pool_workers = workers
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None or self._pool_workers < workers:
+                self.close()
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+                self._pool_workers = workers
+            return self._pool
 
     def _discard_pool(self, pool: ProcessPoolExecutor, hung: bool) -> None:
         """Drop a broken or hung pool without ever blocking on its workers."""
-        if pool is self._pool:
-            self._pool = None
-            self._pool_workers = 0
+        with self._pool_lock:
+            if pool is self._pool:
+                self._pool = None
+                self._pool_workers = 0
         if hung:
             # shutdown(wait=False) would leave hung workers running (and
             # clears the pool's process table); kill them first so they
@@ -225,7 +248,7 @@ class EnsembleExecutor:
                 error = exc
         return failed, error
 
-    def _attempt_pool(self, fn, jobs, results, pending, faults, workers):
+    def _attempt_pool(self, fn, jobs, results, pending, faults, workers, fault_log):
         pool = self._acquire_pool(workers)
         parent_pid = os.getpid()
         failed, error = [], None
@@ -257,12 +280,12 @@ class EnsembleExecutor:
             error = TimeoutError(
                 f"{len(not_done)} shard(s) exceeded the {self.task_deadline_s}s task deadline"
             )
-            self.fault_log.record("executor", "deadline-kill", str(error))
+            fault_log.record("executor", "deadline-kill", str(error))
         submitted = set(futures.values())
         failed.extend(idx for idx in pending if idx not in submitted)
         if broken or hung:
             self._discard_pool(pool, hung=hung)
-            self.fault_log.record(
+            fault_log.record(
                 "executor",
                 "pool-rebuild",
                 "terminated hung worker pool" if hung else "replaced broken worker pool",
@@ -271,23 +294,50 @@ class EnsembleExecutor:
             pool.shutdown()
         return failed, error
 
-    def _gather(self, fn, jobs, workers: int) -> list:
+    def _retry_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff before retry ``attempt`` (1-based).
+
+        ``retry_backoff_s * 2**(attempt-1) * uniform(0.5, 1.5)``, drawn from
+        the executor's dedicated backoff rng — never from an experiment
+        stream (the draw happens only on the retry path, and even there it
+        influences timing alone).
+        """
+        with self._backoff_lock:
+            jitter = float(self._backoff_rng.uniform(0.5, 1.5))
+        return self.retry_backoff_s * (2 ** (attempt - 1)) * jitter
+
+    def _gather(
+        self,
+        fn,
+        jobs,
+        workers: int,
+        fault_log: FaultLog | None = None,
+        fault_plan: FaultPlan | None | str = "inherit",
+    ) -> list:
         """Run ``jobs`` (serially or on the pool), retrying failed shards.
 
         Results are returned in job order.  Failed shards are recomputed with
-        exponential backoff up to ``max_retries`` extra attempts; because the
-        shards are deterministic and injected faults fire at most once, the
-        recovered gather is bit-identical to a fault-free one.
+        jittered exponential backoff up to ``max_retries`` extra attempts;
+        because the shards are deterministic and injected faults fire at most
+        once, the recovered gather is bit-identical to a fault-free one.
+        ``fault_log``/``fault_plan`` default to the executor's own; an
+        :class:`ExecutorLease` passes per-job overrides so concurrent jobs
+        sharing the pool keep separately attributable recovery ledgers.
         """
+        fault_log = self.fault_log if fault_log is None else fault_log
+        if isinstance(fault_plan, str):
+            fault_plan = self.fault_plan
         results: list = [None] * len(jobs)
         pending = list(range(len(jobs)))
         attempt = 0
         while True:
-            faults = self._faults_for(pending)
+            faults = self._faults_for(pending, fault_plan)
             if workers == 1:
                 failed, error = self._attempt_serial(fn, jobs, results, pending, faults)
             else:
-                failed, error = self._attempt_pool(fn, jobs, results, pending, faults, workers)
+                failed, error = self._attempt_pool(
+                    fn, jobs, results, pending, faults, workers, fault_log
+                )
             if not failed:
                 return results
             attempt += 1
@@ -296,13 +346,13 @@ class EnsembleExecutor:
                     f"{len(failed)} shard(s) still failing after "
                     f"{self.max_retries} retries: {error!r}"
                 ) from error
-            self.fault_log.record(
+            fault_log.record(
                 "executor",
                 "retry",
                 f"recomputing {len(failed)} shard(s), attempt {attempt + 1} "
                 f"after {type(error).__name__}",
             )
-            delay = self.retry_backoff_s * (2 ** (attempt - 1))
+            delay = self._retry_delay(attempt)
             if delay > 0:
                 time.sleep(delay)
             failed.sort()
@@ -339,7 +389,23 @@ class EnsembleExecutor:
         except Exception:
             pass  # interpreter tear-down: the pool reaps itself
 
-    def map_blocks(self, fn, jobs: list) -> list:
+    def lease(
+        self,
+        job: str = "",
+        fault_log: FaultLog | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> "ExecutorLease":
+        """Per-job view of this executor for concurrent scheduling.
+
+        The lease shares the worker pool but routes recoveries to its own
+        :class:`FaultLog` (fresh by default) and draws injected faults from
+        its own :class:`FaultPlan` (empty by default, so a process-wide
+        ``REPRO_FAULT_PLAN`` targeting the service does not double-fire
+        inside every job).  See :class:`ExecutorLease`.
+        """
+        return ExecutorLease(self, job=job, fault_log=fault_log, fault_plan=fault_plan)
+
+    def map_blocks(self, fn, jobs: list, *, fault_log=None, fault_plan="inherit") -> list:
         """Map independent, picklable work-units over the pool, in order.
 
         This is the generic sharding primitive behind the parallel analysis
@@ -354,9 +420,11 @@ class EnsembleExecutor:
         if not jobs:
             return []
         workers = min(self.n_workers, len(jobs))
-        return self._gather(fn, jobs, workers)
+        return self._gather(fn, jobs, workers, fault_log=fault_log, fault_plan=fault_plan)
 
-    def map_states(self, model, ensemble: np.ndarray, n_steps: int = 1) -> np.ndarray:
+    def map_states(
+        self, model, ensemble: np.ndarray, n_steps: int = 1, *, fault_log=None, fault_plan="inherit"
+    ) -> np.ndarray:
         """Propagate an ``(m, d)`` ensemble through ``model`` member-parallel."""
         ensemble = np.asarray(ensemble, dtype=float)
         if ensemble.ndim != 2:
@@ -364,7 +432,9 @@ class EnsembleExecutor:
         workers = self._effective_workers(ensemble.shape[0])
         slices = ensemble_slices(ensemble.shape[0], workers)
         jobs = [(model, ensemble[s], n_steps) for s in slices]
-        results = self._gather(_forecast_chunk, jobs, workers)
+        results = self._gather(
+            _forecast_chunk, jobs, workers, fault_log=fault_log, fault_plan=fault_plan
+        )
         return np.concatenate(results, axis=0)
 
     def analyze_ensf(
@@ -374,6 +444,9 @@ class EnsembleExecutor:
         observation: np.ndarray,
         operator,
         seed: int | np.random.SeedSequence = 0,
+        *,
+        fault_log=None,
+        fault_plan="inherit",
     ) -> np.ndarray:
         """Member-parallel EnSF analysis (each worker integrates its members).
 
@@ -406,5 +479,78 @@ class EnsembleExecutor:
             (filter_, forecast_ensemble, observation, operator, member_seeds[s.start : s.stop])
             for s in slices
         ]
-        results = self._gather(_ensf_chunk, jobs, workers)
+        results = self._gather(
+            _ensf_chunk, jobs, workers, fault_log=fault_log, fault_plan=fault_plan
+        )
         return np.concatenate(results, axis=0)
+
+
+class ExecutorLease:
+    """A per-job handle onto a shared :class:`EnsembleExecutor`.
+
+    An experiment service runs many jobs concurrently over one pool; each
+    job holds a lease rather than the executor itself.  The lease exposes
+    the same mapping API (``map_blocks`` / ``map_states`` / ``analyze_ensf``)
+    and shares the parent's workers, retry budget and deadlines, but:
+
+    - recoveries are recorded in the **lease's own** :class:`FaultLog`, so
+      per-job health is attributable (the service reads it to decide
+      retry/fail transitions) instead of interleaved in one global ledger;
+    - injected faults come from the **lease's own** :class:`FaultPlan`
+      (empty by default), so a process-wide ``REPRO_FAULT_PLAN`` aimed at
+      the scheduler site is not consumed N times by N concurrent jobs —
+      chaos tests target a specific job by handing that job's lease a plan.
+
+    ``close()`` is a no-op: the pool belongs to the parent executor and
+    outlives any one job.  Unknown attributes delegate to the parent, so a
+    lease substitutes anywhere an ``EnsembleExecutor`` is accepted.
+    """
+
+    def __init__(
+        self,
+        parent: EnsembleExecutor,
+        job: str = "",
+        fault_log: FaultLog | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
+        self._parent = parent
+        self.job = str(job)
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+
+    @property
+    def parent(self) -> EnsembleExecutor:
+        return self._parent
+
+    def map_blocks(self, fn, jobs: list) -> list:
+        return self._parent.map_blocks(
+            fn, jobs, fault_log=self.fault_log, fault_plan=self.fault_plan
+        )
+
+    def map_states(self, model, ensemble: np.ndarray, n_steps: int = 1) -> np.ndarray:
+        return self._parent.map_states(
+            model, ensemble, n_steps, fault_log=self.fault_log, fault_plan=self.fault_plan
+        )
+
+    def analyze_ensf(self, filter_, forecast_ensemble, observation, operator, seed=0):
+        return self._parent.analyze_ensf(
+            filter_,
+            forecast_ensemble,
+            observation,
+            operator,
+            seed,
+            fault_log=self.fault_log,
+            fault_plan=self.fault_plan,
+        )
+
+    def close(self) -> None:
+        """No-op: the shared pool is owned (and closed) by the parent."""
+
+    def __enter__(self) -> "ExecutorLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __getattr__(self, name):
+        return getattr(self._parent, name)

@@ -146,34 +146,27 @@ class SQGModel:
     accepted by :meth:`forecast`, which is how the DA layer drives it.
     Internally states are ``(..., 2, ny, nx)`` physical fields.
 
-    Two implementations of the time step are provided (the same oracle
-    pattern as ``LETKF.analyze`` / ``analyze_reference``):
-
-    * :meth:`step_spectral` (default) — the **fused kernel**.  The four
-      advection fields ``θ̂_x, θ̂_y, û, v̂`` are built with precomputed
-      combined derivative×dealias multipliers on the retained spectral
-      columns only and inverse-transformed in one batched pruned FFT per
-      tendency call; products, relaxation and the RK4 combination run
-      in-place on persistent workspace buffers.  Bit-identical to the
-      reference (asserted in ``tests/unit/test_forecast_kernels.py``).
-    * :meth:`step_spectral_reference` — the original implementation, kept
-      verbatim as the numerical oracle (``fused=False`` routes the model
-      through it).
+    :meth:`step_spectral` is the **fused kernel**: the four advection
+    fields ``θ̂_x, θ̂_y, û, v̂`` are built with precomputed combined
+    derivative×dealias multipliers on the retained spectral columns only
+    and inverse-transformed in one batched pruned FFT per tendency call;
+    products, relaxation and the RK4 combination run in-place on persistent
+    workspace buffers.  (The original step implementation served as the
+    bit-identity oracle through several releases of equivalence testing and
+    has been retired; ``_tendency_fused`` documents the floating-point
+    ordering contract it was certified against.)
 
     Parameters
     ----------
     params:
         Physical/numerical configuration.
-    fused:
-        Use the fused kernel (default).  ``False`` forces the reference step.
     backend:
         FFT backend selection forwarded to :class:`SpectralGrid`.
     array_backend:
         Array backend (:mod:`repro.utils.xp`) for the fused kernel's
         workspace arithmetic; ``None`` uses the ``REPRO_ARRAY_BACKEND``
         default.  The numpy backend is bit-identical to the pre-shim
-        kernel; the reference step is the pre-shim oracle and always runs
-        on plain numpy.  (A non-CPU array backend additionally needs a
+        kernel.  (A non-CPU array backend additionally needs a
         device-aware FFT backend — the remaining GPU work item.)
     """
 
@@ -181,12 +174,10 @@ class SQGModel:
         self,
         params: SQGParameters | None = None,
         *,
-        fused: bool = True,
         backend: str | FFTBackend | None = None,
         array_backend: str | ArrayBackend | None = None,
     ):
         self.params = params or SQGParameters()
-        self.fused = bool(fused)
         self.xp = resolve_array_backend(array_backend)
         p = self.params
         self.grid = p.grid
@@ -339,57 +330,17 @@ class SQGModel:
         )
 
     # ------------------------------------------------------------------ #
-    # dynamics — reference path (numerical oracle, kept verbatim)
-    # ------------------------------------------------------------------ #
-    def _tendency_reference(self, theta_spec: np.ndarray) -> np.ndarray:
-        """Spectral tendency of boundary θ̂ (advection + baroclinic source)."""
-        sp = self.spectral
-        psi_spec = self.invert(theta_spec)
-
-        theta_x = sp.to_physical(sp.ddx(sp.truncate(theta_spec)))
-        theta_y = sp.to_physical(sp.ddy(sp.truncate(theta_spec)))
-        u = -sp.to_physical(sp.ddy(sp.truncate(psi_spec)))
-        v = sp.to_physical(sp.ddx(sp.truncate(psi_spec)))
-
-        u_base = self._u_base.reshape((2,) + (1,) * 2)
-        advection = (u + u_base) * theta_x + v * theta_y
-        baroclinic = -self._mean_grad * v  # v ∂θ̄/∂y with ∂θ̄/∂y = −Λ θ₀ f / g
-        tend_phys = -(advection + baroclinic)
-
-        tend = sp.truncate(sp.to_spectral(tend_phys))
-
-        # Linear thermal relaxation of the eddy field (the energy sink that
-        # equilibrates the shear-forced turbulence, cf. sqgturb's tdiab).
-        tend = tend - theta_spec / self.params.relaxation_time
-
-        if self.params.ekman_drag > 0.0:
-            # Linear Ekman damping of the lower-boundary vorticity projected
-            # onto θ; represented as a drag on the lower boundary field.
-            drag = np.zeros_like(tend)
-            drag[..., 0, :, :] = -self.params.ekman_drag * theta_spec[..., 0, :, :]
-            tend = tend + drag
-        return tend
-
-    def step_spectral_reference(self, theta_spec: np.ndarray) -> np.ndarray:
-        """Reference RK4 step plus implicit hyperdiffusion (pre-fusion path)."""
-        dt = self.params.dt
-        k1 = self._tendency_reference(theta_spec)
-        k2 = self._tendency_reference(theta_spec + 0.5 * dt * k1)
-        k3 = self._tendency_reference(theta_spec + 0.5 * dt * k2)
-        k4 = self._tendency_reference(theta_spec + dt * k3)
-        new = theta_spec + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
-        return new * self._hyperdiff
-
-    # ------------------------------------------------------------------ #
     # dynamics — fused path
     # ------------------------------------------------------------------ #
     def _tendency_fused(
         self, theta_spec: np.ndarray, out: np.ndarray, ws: _ForecastWorkspace
     ) -> np.ndarray:
-        """Fused spectral tendency, bit-identical to :meth:`_tendency_reference`.
+        """Fused spectral tendency (advection + baroclinic source + relaxation).
 
-        Every floating-point operation of the reference is replicated in the
-        same order; the savings come from (a) the combined derivative×dealias
+        Every floating-point operation of the retired reference implementation
+        is replicated in the same order (the bit-identity contract the kernel
+        was certified against); the savings come from (a) the combined
+        derivative×dealias
         multipliers (the mask entries are exactly 0/1, so ``(i·k·mask)·θ̂``
         matches ``i·k·(mask·θ̂)`` bit for bit), (b) transforming only the
         retained spectral columns (the rest are exact zeros), (c) one batched
@@ -453,14 +404,7 @@ class SQGModel:
         return out
 
     def step_spectral(self, theta_spec: np.ndarray) -> np.ndarray:
-        """Advance spectral θ̂ by one RK4 step plus implicit hyperdiffusion.
-
-        Dispatches to the fused kernel (default) or the reference path when
-        the model was built with ``fused=False``.  Both produce bit-identical
-        spectral states.
-        """
-        if not self.fused:
-            return self.step_spectral_reference(theta_spec)
+        """Advance spectral θ̂ by one RK4 step plus implicit hyperdiffusion."""
         xp = self.xp
         # Host↔device boundary is per step (identity on the CPU backends):
         # the public contract is host-in/host-out.  A device backend would

@@ -45,6 +45,19 @@ Injection sites
     ``payload["keep"]`` of its bytes (default 0.5), simulating a crash the
     atomic-write path cannot see (e.g. torn storage) — the checksum
     verification and ``resume="auto"`` fallback must recover.
+``"scheduler"``
+    Visited once per :class:`~repro.workflow.scheduler.ExperimentService`
+    journal write (every job lifecycle transition — submission, launch,
+    completion, preemption, drain — writes the journal, so occurrences
+    index the service's serialized event stream).  Kinds:
+    ``"job-crash"`` arms an injected crash of one job (``payload["job"]``
+    names it) which fires at that job's next cycle boundary and lands in
+    the job's own :class:`FaultLog`; ``"journal-torn"`` truncates the
+    just-written journal to ``payload["keep"]`` of its bytes (recovery
+    must fall back to the previous journal generation); ``"service-kill"``
+    hard-kills the whole service process with ``os._exit`` (exit code
+    ``payload["code"]``, default 137 — the SIGKILL shape), so a chaos test
+    can assert that a restarted service recovers its entire queue.
 
 Determinism contract: a plan never draws random numbers at injection time
 (corruption patterns are derived from the event itself), so an injected run
@@ -63,6 +76,7 @@ e.g. ``worker-crash@executor:1;checkpoint-truncate@checkpoint:0,keep=0.25``.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -79,8 +93,16 @@ __all__ = [
 
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
-FAULT_KINDS = ("worker-crash", "task-hang", "obs-corrupt", "checkpoint-truncate")
-FAULT_SITES = ("executor", "observations", "checkpoint")
+FAULT_KINDS = (
+    "worker-crash",
+    "task-hang",
+    "obs-corrupt",
+    "checkpoint-truncate",
+    "job-crash",
+    "journal-torn",
+    "service-kill",
+)
+FAULT_SITES = ("executor", "observations", "checkpoint", "scheduler")
 
 # Which site each kind belongs to (used by seeded plans and validation).
 _KIND_SITE = {
@@ -88,6 +110,22 @@ _KIND_SITE = {
     "task-hang": "executor",
     "obs-corrupt": "observations",
     "checkpoint-truncate": "checkpoint",
+    "job-crash": "scheduler",
+    "journal-torn": "scheduler",
+    "service-kill": "scheduler",
+}
+
+# Payload keys each kind understands.  An unknown key in a spec is almost
+# always a typo that would otherwise silently change nothing deep inside a
+# run; reject it up front instead.
+_KIND_PAYLOAD_KEYS = {
+    "worker-crash": frozenset({"job"}),
+    "task-hang": frozenset({"job", "hang_s"}),
+    "obs-corrupt": frozenset({"mode", "value", "fraction"}),
+    "checkpoint-truncate": frozenset({"keep"}),
+    "job-crash": frozenset({"job"}),
+    "journal-torn": frozenset({"keep"}),
+    "service-kill": frozenset({"code"}),
 }
 
 
@@ -116,6 +154,12 @@ class FaultEvent:
             )
         if self.occurrence < 0:
             raise ValueError("occurrence must be non-negative")
+        unknown = sorted(set(self.payload) - _KIND_PAYLOAD_KEYS[self.kind])
+        if unknown:
+            raise ValueError(
+                f"unknown payload key(s) {unknown} for fault kind {self.kind!r} "
+                f"(known: {sorted(_KIND_PAYLOAD_KEYS[self.kind])})"
+            )
 
     def spec(self) -> str:
         """Compact spec form of this event (``kind@site:occurrence[,k=v...]``)."""
@@ -141,11 +185,26 @@ class FaultPlan:
     visits per site and returns the events scheduled for that visit.  Each
     event fires exactly once — a retried shard is rebuilt *without* its
     fault, which is what lets recovery recompute bit-identical results.
+
+    Visit counting is thread-safe (a plan may be shared by the concurrent
+    jobs of an experiment service), but determinism of *which* visit a
+    concurrent site lands on is the caller's responsibility — the scheduler
+    serializes its ``"scheduler"`` visits under the service lock.
     """
 
     def __init__(self, events: list[FaultEvent] | tuple[FaultEvent, ...] = ()) -> None:
         self.events = tuple(events)
+        seen: set[tuple[str, str, int]] = set()
+        for event in self.events:
+            key = (event.kind, event.site, event.occurrence)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate fault event {event.spec()!r}: each (kind, site, "
+                    "occurrence) may be scheduled at most once"
+                )
+            seen.add(key)
         self._visits: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     # -- construction ------------------------------------------------------- #
     @classmethod
@@ -171,15 +230,28 @@ class FaultPlan:
                 if not key or not raw:
                     raise ValueError(f"malformed fault payload item {item!r} in {entry!r}")
                 payload[key.strip()] = _parse_value(raw.strip())
-            events.append(
-                FaultEvent(
-                    kind=kind.strip(),
-                    site=site.strip(),
-                    occurrence=int(fields[0]),
-                    payload=payload,
+            try:
+                occurrence = int(fields[0])
+            except ValueError:
+                raise ValueError(
+                    f"malformed occurrence {fields[0]!r} in fault spec entry {entry!r} "
+                    "(expected a non-negative integer)"
+                ) from None
+            try:
+                events.append(
+                    FaultEvent(
+                        kind=kind.strip(),
+                        site=site.strip(),
+                        occurrence=occurrence,
+                        payload=payload,
+                    )
                 )
-            )
-        return cls(events)
+            except ValueError as exc:
+                raise ValueError(f"{exc} (in fault spec entry {entry!r})") from None
+        try:
+            return cls(events)
+        except ValueError as exc:
+            raise ValueError(f"{exc} (in fault spec {spec!r})") from None
 
     @classmethod
     def from_env(cls, environ=None) -> "FaultPlan | None":
@@ -205,16 +277,22 @@ class FaultPlan:
         """
         if n_events < 0:
             raise ValueError("n_events must be non-negative")
+        if n_events > len(kinds) * max_occurrence:
+            raise ValueError(
+                f"cannot draw {n_events} distinct events from {len(kinds)} kinds "
+                f"x {max_occurrence} occurrences"
+            )
         rng = np.random.default_rng(seed)
-        events = []
-        for _ in range(n_events):
+        events: list[FaultEvent] = []
+        seen: set[tuple[str, int]] = set()
+        while len(events) < n_events:
             kind = kinds[int(rng.integers(0, len(kinds)))]
+            occurrence = int(rng.integers(0, max_occurrence))
+            if (kind, occurrence) in seen:
+                continue  # redraw: a plan schedules each (kind, occurrence) once
+            seen.add((kind, occurrence))
             events.append(
-                FaultEvent(
-                    kind=kind,
-                    site=_KIND_SITE[kind],
-                    occurrence=int(rng.integers(0, max_occurrence)),
-                )
+                FaultEvent(kind=kind, site=_KIND_SITE[kind], occurrence=occurrence)
             )
         return cls(events)
 
@@ -227,17 +305,29 @@ class FaultPlan:
         """Advance the ``site`` visit counter and return the events firing now."""
         if site not in FAULT_SITES:
             raise ValueError(f"unknown fault site {site!r}")
-        count = self._visits.get(site, 0)
-        self._visits[site] = count + 1
+        with self._lock:
+            count = self._visits.get(site, 0)
+            self._visits[site] = count + 1
         return [e for e in self.events if e.site == site and e.occurrence == count]
 
     def visits(self, site: str) -> int:
         """How many times ``site`` has been visited so far."""
-        return self._visits.get(site, 0)
+        with self._lock:
+            return self._visits.get(site, 0)
 
     def reset(self) -> None:
         """Rewind all visit counters (replay the plan from the start)."""
-        self._visits.clear()
+        with self._lock:
+            self._visits.clear()
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"events": self.events, "visits": dict(self._visits)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.events = state["events"]
+        self._visits = dict(state["visits"])
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -264,34 +354,57 @@ class FaultLog:
     (engine degradation), ``"obs-corrupt"`` (injected corruption),
     ``"checkpoint-truncate"`` (injected truncation),
     ``"checkpoint-fallback"`` (auto-resume skipped an invalid checkpoint),
-    ``"divergence-<policy>"`` (divergence handling).
+    ``"divergence-<policy>"`` (divergence handling), plus the experiment
+    service's ``"preempt"`` / ``"job-crash"`` / ``"job-retry"`` /
+    ``"journal-torn"`` / ``"journal-fallback"`` (scheduler lifecycle).
+
+    The log is thread-safe: a job's log is appended to both by the job's
+    own thread (engine recoveries) and by the service supervisor
+    (preemption, retry scheduling), and read concurrently by status
+    pollers.  ``__iter__``/``snapshot`` iterate over a point-in-time copy.
     """
 
     def __init__(self) -> None:
         self.actions: list[RecoveryAction] = []
+        self._lock = threading.Lock()
 
     def record(self, site: str, action: str, detail: str = "", cycle: int | None = None) -> None:
-        self.actions.append(RecoveryAction(site=site, action=action, detail=detail, cycle=cycle))
+        entry = RecoveryAction(site=site, action=action, detail=detail, cycle=cycle)
+        with self._lock:
+            self.actions.append(entry)
+
+    def snapshot(self) -> list[RecoveryAction]:
+        """Point-in-time copy of the recorded actions."""
+        with self._lock:
+            return list(self.actions)
 
     def count(self, action: str | None = None, site: str | None = None) -> int:
         return sum(
             1
-            for a in self.actions
+            for a in self.snapshot()
             if (action is None or a.action == action) and (site is None or a.site == site)
         )
 
     def summary(self) -> dict[str, int]:
         """Action-name → count (the compact shape diagnostics embed)."""
         out: dict[str, int] = {}
-        for a in self.actions:
+        for a in self.snapshot():
             out[a.action] = out.get(a.action, 0) + 1
         return out
 
     def __len__(self) -> int:
-        return len(self.actions)
+        with self._lock:
+            return len(self.actions)
 
     def __iter__(self):
-        return iter(self.actions)
+        return iter(self.snapshot())
+
+    def __getstate__(self) -> dict:
+        return {"actions": self.snapshot()}
+
+    def __setstate__(self, state: dict) -> None:
+        self.actions = list(state["actions"])
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultLog({self.summary()!r})"

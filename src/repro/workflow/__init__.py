@@ -18,6 +18,12 @@ _EXPORTS = {
     "build_sqg_testbed": "repro.workflow.experiments",
     "RealTimeDAWorkflow": "repro.workflow.realtime",
     "WorkflowTimings": "repro.workflow.realtime",
+    "ExperimentService": "repro.workflow.scheduler",
+    "ServiceConfig": "repro.workflow.scheduler",
+    "JobSpec": "repro.workflow.scheduler",
+    "JobContext": "repro.workflow.scheduler",
+    "lorenz96_ensf_job": "repro.workflow.scheduler",
+    "EnginePreempted": "repro.workflow.engine",
     "CycleEngine": "repro.workflow.engine",
     "CycleRecord": "repro.workflow.engine",
     "CycleContext": "repro.workflow.engine",

@@ -65,6 +65,7 @@ __all__ = [
     "EngineCheckpoint",
     "CheckpointCorruptError",
     "CheckpointRing",
+    "EnginePreempted",
     "DivergencePolicy",
     "EnsembleDivergenceError",
     "TruthStage",
@@ -254,6 +255,19 @@ _CKPT_MAGIC = b"REPRO-CKPT-1\n"
 
 class CheckpointCorruptError(ValueError):
     """A checkpoint file failed verification (truncated, bit-rot, bad pickle)."""
+
+
+class EnginePreempted(Exception):
+    """Raised by :meth:`CycleEngine.run` when a ``preempt`` hook fires.
+
+    The engine checkpoints the just-completed cycle *before* raising, so the
+    run can later continue bit-identically with ``resume="auto"``.
+    ``next_cycle`` is the cycle the resumed run will execute first.
+    """
+
+    def __init__(self, next_cycle: int):
+        super().__init__(f"run preempted at cycle boundary {next_cycle}")
+        self.next_cycle = int(next_cycle)
 
 
 class CheckpointRing:
@@ -757,6 +771,7 @@ class CycleEngine:
         checkpoint_every: int | None = None,
         checkpoint_path=None,
         keep_last: int | None = None,
+        preempt=None,
     ) -> EngineResult:
         """Run cycles until ``n_cycles`` total have completed.
 
@@ -773,7 +788,18 @@ class CycleEngine:
         :class:`CheckpointRing` of the ``k`` newest ``<path>.c<NNNNNN>``
         files (which is what makes ``resume="auto"`` and the ``"reset"``
         divergence policy robust to a torn latest checkpoint).
+
+        ``preempt`` is an optional zero-argument callable polled once per
+        **cycle boundary** (after the cycle's bookkeeping and ``on_cycle``
+        delivery).  When it returns true the engine writes a checkpoint of
+        the completed cycle — unless the periodic checkpoint already covered
+        it — and raises :class:`EnginePreempted`; a later
+        ``run(resume="auto")`` continues bit-identically.  Requires
+        ``checkpoint_every``/``checkpoint_path``.  Exceptions raised by the
+        hook itself (e.g. an injected job crash) propagate unchanged.
         """
+        if preempt is not None and checkpoint_path is None:
+            raise ValueError("preempt needs checkpoint_every/checkpoint_path")
         if n_cycles is None or n_cycles < 1:
             raise ValueError("n_cycles must be positive")
         if checkpoint_every is not None and checkpoint_every < 1:
@@ -800,6 +826,21 @@ class CycleEngine:
             self._records = []
             self._history = [] if self.store_history else None
         start = self._next_cycle
+        if n_cycles == start and resume is not None:
+            # The checkpoint already covers the whole request — possible when
+            # an experiment service is killed between a job's final
+            # checkpoint write and its "done" journal entry.  Nothing to
+            # recompute: the completed result lives in the checkpoint.
+            stats_final = self.forecast_stage.statistics(self._state)
+            return EngineResult(
+                records=list(self._records),
+                truth_final=self._truth,
+                state_final=self._state,
+                mean_final=stats_final.mean,
+                history=None if self._history is None else np.array(self._history),
+                timing=self.recorder.report(since=self.recorder.snapshot()),
+                fault_log=self.fault_log,
+            )
         if n_cycles <= start:
             raise ValueError(
                 f"n_cycles={n_cycles} already completed (checkpoint at cycle {start})"
@@ -887,15 +928,28 @@ class CycleEngine:
             if self._history is not None:
                 self._history.append(stats.mean.copy())
             self._next_cycle = cycle + 1
+            wrote_checkpoint = False
             if checkpoint_every is not None and (cycle + 1 - start) % checkpoint_every == 0:
                 ckpt = self.checkpoint()
                 written = ring.save(ckpt) if ring is not None else Path(checkpoint_path)
                 if ring is None:
                     ckpt.save(written)
                 self._maybe_corrupt_checkpoint(written, cycle)
+                wrote_checkpoint = True
             if self.on_cycle is not None and cycle > reported_high:
                 reported_high = cycle
                 self.on_cycle(record)
+            if preempt is not None and preempt():
+                if not wrote_checkpoint:
+                    # The preempt save must not visit the "checkpoint" fault
+                    # site: preemption is scheduling, and shifting the site's
+                    # occurrence counter would make fault plans fire at
+                    # different cycles depending on when jobs were preempted.
+                    ckpt = self.checkpoint()
+                    written = ring.save(ckpt) if ring is not None else Path(checkpoint_path)
+                    if ring is None:
+                        ckpt.save(written)
+                raise EnginePreempted(cycle + 1)
 
         stats_final = self.forecast_stage.statistics(self._state)
         return EngineResult(

@@ -172,8 +172,21 @@ class RealTimeDAWorkflow:
         initial_ensemble: np.ndarray,
         n_cycles: int,
         steps_per_cycle: int,
+        *,
+        resume=None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+        keep_last: int | None = None,
+        preempt=None,
     ) -> dict:
-        """Run ``n_cycles`` of the real-time workflow; returns a result summary."""
+        """Run ``n_cycles`` of the real-time workflow; returns a result summary.
+
+        The checkpoint/resume/preempt knobs are forwarded verbatim to
+        :meth:`~repro.workflow.engine.CycleEngine.run`, which lets the
+        realtime workflow run as a preemptible, resumable experiment-service
+        job.  A resumed run's ``history``/``timings`` cover only the cycles
+        executed by *this* call (completed cycles live in the checkpoint).
+        """
         if n_cycles < 1 or steps_per_cycle < 1:
             raise ValueError("n_cycles and steps_per_cycle must be positive")
         truth = np.array(truth0, dtype=float)
@@ -224,7 +237,16 @@ class RealTimeDAWorkflow:
             fault_plan=self.fault_plan,
             fault_log=self.fault_log,
         )
-        result = engine.run(truth, ensemble, n_cycles)
+        result = engine.run(
+            truth,
+            ensemble,
+            n_cycles,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            keep_last=keep_last,
+            preempt=preempt,
+        )
         return self.summary(result.truth_final, result.state_final)
 
     # ------------------------------------------------------------------ #

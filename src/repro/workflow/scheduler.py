@@ -1,0 +1,783 @@
+"""Supervised multi-job experiment service over the cycling runtime.
+
+The paper's framing is a *continuously operating* assimilation service:
+hundreds of cycling experiments (parameter sweeps, per-user scenario
+streams) share one machine and must survive job crashes, host restarts and
+oversubscription.  :class:`ExperimentService` is that control plane, built
+on the two guarantees the runtime already provides — bit-identical
+checkpoint/restart (:class:`~repro.workflow.engine.EngineCheckpoint`,
+``resume="auto"``) and deterministic fault injection
+(:mod:`repro.utils.faults`):
+
+**Crash isolation.**  Every job runs on its own thread with its own
+:class:`~repro.utils.faults.FaultLog` and its own
+:class:`~repro.hpc.ensemble_parallel.ExecutorLease` onto the shared worker
+pool.  An exception (or injected fault) in one job transitions *that* job
+to ``backoff``/``failed`` and never touches its siblings or the pool.
+
+**Checkpoint-based preemption.**  Jobs are queued by priority.  When a
+higher-priority job is waiting and every slot is busy, the lowest-priority
+running job is asked to yield: the engine writes a checkpoint at the next
+cycle boundary and raises :class:`~repro.workflow.engine.EnginePreempted`;
+the job re-enters the queue and later resumes **bit-identically** via
+``resume="auto"``.
+
+**Resume-on-failure.**  A crashed job is requeued from its newest intact
+checkpoint after a jittered exponential backoff
+(``retry_backoff_s * 2**(attempt-1) * uniform(0.5, 1.5)``, drawn from a
+dedicated non-experiment rng), escalating to the terminal ``failed`` state
+when ``max_attempts`` is exhausted.
+
+**Durable journal.**  Every lifecycle transition rewrites a checksummed
+JSON journal with the same tmp+fsync+``os.replace`` discipline as
+:meth:`EngineCheckpoint.save`, keeping the previous generation as
+``<journal>.prev``.  A killed-and-restarted service reloads the journal
+(falling back to ``.prev`` if the newest write was torn) and requeues every
+non-terminal job; combined with checkpoint resume this makes a
+SIGKILL-mid-sweep recoverable with bit-identical per-job results.
+
+**Drain and backpressure.**  ``request_drain()`` (wired to SIGTERM by
+:meth:`install_signal_handlers`) stops launching, preempts all running
+jobs so their progress is checkpointed, and flushes the journal.
+Submissions beyond ``max_queued`` live jobs are journaled in the explicit
+terminal state ``rejected`` instead of growing the queue without bound.
+
+Job lifecycle::
+
+                 submit                    launch
+    (rejected) <-------- [pending] ------------------> [running]
+                           ^   ^                        |  |  |
+                 backoff   |   |  preempt (checkpoint)  |  |  |
+          [backoff] -------+   +------ [preempted] <----+  |  +--> [done]
+              ^                                            v
+              +------------------ crash (retry left) --- [failed]
+                                                          (budget exhausted)
+
+Chaos testing hooks live at the ``"scheduler"`` fault site, visited once
+per journal write under the service lock (see :mod:`repro.utils.faults`):
+``job-crash`` arms an injected crash of one job at its next cycle
+boundary, ``journal-torn`` truncates the just-written journal, and
+``service-kill`` hard-kills the process — the recorded recovery path must
+reproduce the clean run's results bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.hpc.ensemble_parallel import EnsembleExecutor
+from repro.utils.faults import FaultInjected, FaultLog, FaultPlan
+from repro.workflow.engine import EnginePreempted
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ServiceConfig",
+    "JobSpec",
+    "JobContext",
+    "ExperimentService",
+    "lorenz96_ensf_job",
+]
+
+JOB_STATES = ("pending", "running", "preempted", "backoff", "done", "failed", "rejected")
+TERMINAL_STATES = ("done", "failed", "rejected")
+
+_JOURNAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operating limits of an :class:`ExperimentService`.
+
+    ``max_running`` bounds concurrent jobs (each job may still fan its own
+    shards over the shared pool); ``max_queued`` bounds *live* (non-terminal)
+    jobs — submissions beyond it are journaled as ``rejected``.
+    ``max_attempts`` is the per-job crash budget (a preemption is not a
+    crash and never consumes it).  ``checkpoint_every``/``keep_last``
+    configure each job's checkpoint ring, which is what makes preemption
+    and crash recovery bit-identical.
+    """
+
+    max_running: int = 2
+    max_queued: int = 64
+    max_attempts: int = 3
+    retry_backoff_s: float = 0.05
+    backoff_seed: int | None = None
+    checkpoint_every: int = 1
+    keep_last: int = 3
+    poll_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_running < 1:
+            raise ValueError("max_running must be positive")
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        if self.keep_last < 1:
+            raise ValueError("keep_last must be positive")
+
+
+def _runner_ref(runner) -> str:
+    """Normalize ``runner`` to an importable ``"module:qualname"`` string."""
+    if isinstance(runner, str):
+        ref = runner
+    else:
+        module = getattr(runner, "__module__", None)
+        qualname = getattr(runner, "__qualname__", None)
+        if not module or not qualname:
+            raise ValueError(f"runner {runner!r} is not an importable callable")
+        ref = f"{module}:{qualname}"
+    if ":" not in ref:
+        raise ValueError(f"runner reference {ref!r} must look like 'module:qualname'")
+    if "<" in ref:
+        raise ValueError(
+            f"runner reference {ref!r} is not importable (lambdas and local "
+            "functions cannot be resumed after a service restart)"
+        )
+    return ref
+
+
+def _resolve_runner(ref: str):
+    """Import the callable behind a ``"module:qualname"`` reference."""
+    module_name, _, qualname = ref.partition(":")
+    try:
+        obj = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ValueError(f"runner module {module_name!r} is not importable: {exc}") from None
+    for part in qualname.split("."):
+        try:
+            obj = getattr(obj, part)
+        except AttributeError:
+            raise ValueError(f"runner {ref!r} does not resolve to an attribute") from None
+    if not callable(obj):
+        raise ValueError(f"runner {ref!r} is not callable")
+    return obj
+
+
+def _jsonable(value):
+    """Recursively convert a runner result into JSON-serializable builtins."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment submission.
+
+    ``runner`` is an importable ``"module:qualname"`` reference (or a
+    module-level callable, normalized to one) with signature
+    ``runner(ctx: JobContext) -> dict``; it must be importable because a
+    restarted service re-resolves runners from the journal.  ``params`` is
+    the JSON-serializable argument payload handed to the runner via
+    ``ctx.params``.  Higher ``priority`` preempts lower.
+    """
+
+    name: str
+    runner: str
+    params: dict = field(default_factory=dict)
+    priority: int = 0
+    max_attempts: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        object.__setattr__(self, "runner", _runner_ref(self.runner))
+        json.dumps(self.params)  # fail early: the journal must serialize it
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+
+
+class _JobRecord:
+    """Internal per-job state: journaled fields plus runtime machinery."""
+
+    def __init__(self, spec: JobSpec, index: int):
+        self.spec = spec
+        self.index = index
+        self.state = "pending"
+        self.attempts = 0  # crash count (preemptions don't consume the budget)
+        self.resume = False
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.backoff_until = 0.0  # monotonic deadline while in "backoff"
+        self.fault_log = FaultLog()
+        self.preempt_event = threading.Event()
+        self.crash_event = threading.Event()
+        self.thread: threading.Thread | None = None
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "runner": self.spec.runner,
+            "params": self.spec.params,
+            "priority": self.spec.priority,
+            "max_attempts": self.spec.max_attempts,
+            "index": self.index,
+            "state": self.state,
+            "attempts": self.attempts,
+            "resume": self.resume,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "_JobRecord":
+        spec = JobSpec(
+            name=payload["name"],
+            runner=payload["runner"],
+            params=payload.get("params") or {},
+            priority=int(payload.get("priority", 0)),
+            max_attempts=payload.get("max_attempts"),
+        )
+        rec = cls(spec, int(payload["index"]))
+        rec.state = payload["state"]
+        rec.attempts = int(payload.get("attempts", 0))
+        rec.resume = bool(payload.get("resume", False))
+        rec.result = payload.get("result")
+        rec.error = payload.get("error")
+        return rec
+
+
+class JobContext:
+    """What a runner gets: identity, parameters, workdir, and the hooks
+    that make it preemptible and crash-recoverable.
+
+    Runners should forward ``**ctx.engine_kwargs()`` to
+    :func:`~repro.da.cycling.run_osse` /
+    :meth:`~repro.workflow.engine.CycleEngine.run` — it wires up
+    ``resume="auto"`` against the job's checkpoint ring and the service's
+    preemption hook — and use ``ctx.executor`` (the job's lease on the
+    shared pool, or ``None``) for ensemble-parallel work.
+    """
+
+    def __init__(self, service: "ExperimentService", record: _JobRecord):
+        self._record = record
+        self.name = record.spec.name
+        self.params = dict(record.spec.params)
+        self.attempt = record.attempts + 1
+        self.resume = record.resume
+        self.fault_log = record.fault_log
+        self.workdir = service.workdir / record.spec.name
+        self.checkpoint_path = self.workdir / "engine.ckpt"
+        self.checkpoint_every = service.config.checkpoint_every
+        self.keep_last = service.config.keep_last
+        pool = service.executor
+        self.executor = None if pool is None else pool.lease(
+            job=self.name, fault_log=record.fault_log
+        )
+        self.workdir.mkdir(parents=True, exist_ok=True)
+
+    def should_preempt(self) -> bool:
+        """Cycle-boundary hook: injected crashes fire here, preemption polls here."""
+        record = self._record
+        if record.crash_event.is_set():
+            record.crash_event.clear()
+            record.fault_log.record(
+                "scheduler", "job-crash", f"injected crash of job {self.name!r}"
+            )
+            raise FaultInjected(f"injected job crash in {self.name!r}")
+        return record.preempt_event.is_set()
+
+    def engine_kwargs(self) -> dict:
+        return {
+            "resume": "auto",
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoint_path": self.checkpoint_path,
+            "keep_last": self.keep_last,
+            "preempt": self.should_preempt,
+        }
+
+
+class ExperimentService:
+    """Run many cycling experiments concurrently over one shared pool.
+
+    Parameters
+    ----------
+    journal_path:
+        The durable job-state store.  If the file (or its ``.prev``
+        generation) exists and ``recover=True``, the queue is reloaded:
+        terminal jobs keep their results, everything else is requeued with
+        ``resume=True`` and continues from its newest intact checkpoint.
+    executor:
+        Optional shared :class:`~repro.hpc.ensemble_parallel.EnsembleExecutor`;
+        each job receives its own :class:`ExecutorLease` onto it.  The
+        service never closes it — the caller owns the pool.
+    config:
+        :class:`ServiceConfig` operating limits.
+    fault_plan / fault_log:
+        Deterministic chaos hooks (``"scheduler"`` site) and the service's
+        own recovery ledger; per-job recoveries land in each job's log.
+    """
+
+    def __init__(
+        self,
+        journal_path,
+        executor: EnsembleExecutor | None = None,
+        config: ServiceConfig | None = None,
+        workdir=None,
+        recover: bool = True,
+        fault_plan: FaultPlan | None = None,
+        fault_log: FaultLog | None = None,
+    ):
+        self.journal_path = Path(journal_path)
+        self.executor = executor
+        self.config = config if config is not None else ServiceConfig()
+        self.workdir = (
+            Path(workdir) if workdir is not None else self.journal_path.parent / "jobs"
+        )
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: dict[str, _JobRecord] = {}
+        self._order: list[_JobRecord] = []
+        self._running: list[_JobRecord] = []
+        self._draining = False
+        self._stop = False
+        self._supervisor: threading.Thread | None = None
+        self._backoff_rng = np.random.default_rng(self.config.backoff_seed)
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        if recover:
+            self._recover()
+
+    # -- journal ------------------------------------------------------------ #
+    def _journal_payload(self) -> dict:
+        return {
+            "version": _JOURNAL_VERSION,
+            "jobs": [rec.to_payload() for rec in self._order],
+        }
+
+    def _write_journal_locked(self) -> None:
+        """Atomically persist the queue, then visit the chaos site.
+
+        Same durability discipline as ``EngineCheckpoint.save``: tmp +
+        fsync + ``os.replace``, with the previous generation kept as
+        ``.prev`` so a torn write (only reachable through injected faults
+        or storage-level corruption) still leaves a loadable journal.
+        """
+        payload = self._journal_payload()
+        canonical = json.dumps(payload, sort_keys=True)
+        digest = hashlib.sha256(canonical.encode()).hexdigest()
+        body = json.dumps({"sha256": digest, "payload": payload}, sort_keys=True)
+        path = self.journal_path
+        if path.exists():
+            prev_tmp = path.with_name(path.name + ".prev.tmp")
+            prev_tmp.write_bytes(path.read_bytes())
+            os.replace(prev_tmp, path.with_name(path.name + ".prev"))
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._chaos_after_journal_write(path)
+
+    def _chaos_after_journal_write(self, path: Path) -> None:
+        """One ``"scheduler"`` fault-site visit per journal write (see module doc)."""
+        if self.fault_plan is None:
+            return
+        for event in self.fault_plan.visit("scheduler"):
+            if event.kind == "journal-torn":
+                keep = float(event.payload.get("keep", 0.5))
+                data = path.read_bytes()
+                with open(path, "wb") as fh:
+                    fh.write(data[: max(0, int(len(data) * keep))])
+                self.fault_log.record(
+                    "scheduler", "journal-torn", f"truncated journal to keep={keep}"
+                )
+            elif event.kind == "job-crash":
+                rec = self._match_job(event.payload.get("job", 0))
+                if rec is not None:
+                    rec.crash_event.set()
+                    self.fault_log.record(
+                        "scheduler", "job-crash", f"armed injected crash of {rec.spec.name!r}"
+                    )
+            elif event.kind == "service-kill":
+                code = int(event.payload.get("code", 137))
+                os._exit(code)  # the SIGKILL shape: no cleanup, no journal flush
+
+    def _match_job(self, which) -> _JobRecord | None:
+        if isinstance(which, str) and which in self._jobs:
+            return self._jobs[which]
+        try:
+            return self._order[int(which) % len(self._order)] if self._order else None
+        except (TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def load_journal(path) -> dict | None:
+        """Verified journal payload at ``path``, or ``None`` if unloadable."""
+        path = Path(path)
+        try:
+            wrapper = json.loads(path.read_text())
+            payload = wrapper["payload"]
+            canonical = json.dumps(payload, sort_keys=True)
+            if hashlib.sha256(canonical.encode()).hexdigest() != wrapper["sha256"]:
+                return None
+            return payload
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _recover(self) -> None:
+        payload = self.load_journal(self.journal_path)
+        if payload is None:
+            prev = self.journal_path.with_name(self.journal_path.name + ".prev")
+            payload = self.load_journal(prev)
+            if payload is not None:
+                self.fault_log.record(
+                    "scheduler",
+                    "journal-fallback",
+                    f"journal unreadable; recovered previous generation {prev.name!r}",
+                )
+        if payload is None:
+            return
+        with self._cond:
+            for job_payload in payload.get("jobs", ()):
+                rec = _JobRecord.from_payload(job_payload)
+                if rec.state not in TERMINAL_STATES:
+                    # Anything in flight when the service died resumes from
+                    # its newest intact checkpoint.
+                    rec.state = "pending"
+                    rec.resume = True
+                self._jobs[rec.spec.name] = rec
+                self._order.append(rec)
+            if self._order:
+                self._write_journal_locked()
+
+    # -- submission / status ------------------------------------------------ #
+    def submit(
+        self,
+        name: str,
+        runner,
+        params: dict | None = None,
+        priority: int = 0,
+        max_attempts: int | None = None,
+    ) -> str:
+        """Queue a job; returns its state (``"pending"`` or ``"rejected"``).
+
+        The runner is resolved immediately so an unimportable reference
+        fails at submission, not deep inside a worker thread.
+        """
+        spec = JobSpec(
+            name=name,
+            runner=runner,
+            params=dict(params or {}),
+            priority=priority,
+            max_attempts=max_attempts,
+        )
+        _resolve_runner(spec.runner)
+        with self._cond:
+            if spec.name in self._jobs:
+                raise ValueError(f"job {spec.name!r} already submitted")
+            rec = _JobRecord(spec, index=len(self._order))
+            live = sum(1 for r in self._order if r.state not in TERMINAL_STATES)
+            if live >= self.config.max_queued:
+                rec.state = "rejected"
+                rec.error = f"queue full ({live} live jobs >= max_queued={self.config.max_queued})"
+                self.fault_log.record("scheduler", "reject", rec.error)
+            self._jobs[spec.name] = rec
+            self._order.append(rec)
+            self._write_journal_locked()
+            self._cond.notify_all()
+            return rec.state
+
+    def state(self, name: str) -> str:
+        with self._lock:
+            return self._jobs[name].state
+
+    def result(self, name: str) -> dict | None:
+        with self._lock:
+            return self._jobs[name].result
+
+    def job_fault_log(self, name: str) -> FaultLog:
+        with self._lock:
+            return self._jobs[name].fault_log
+
+    def status(self) -> dict[str, str]:
+        """Cheap name → state snapshot (what a frontend would poll)."""
+        with self._lock:
+            return {rec.spec.name: rec.state for rec in self._order}
+
+    # -- scheduling --------------------------------------------------------- #
+    def _transition_locked(self, rec: _JobRecord, state: str) -> None:
+        rec.state = state
+        self._write_journal_locked()
+
+    def _ready_locked(self, now: float) -> list[_JobRecord]:
+        for rec in self._order:
+            if rec.state == "backoff" and now >= rec.backoff_until:
+                self._transition_locked(rec, "pending")
+        ready = [rec for rec in self._order if rec.state == "pending"]
+        ready.sort(key=lambda r: (-r.spec.priority, r.index))
+        return ready
+
+    def _launch_locked(self, rec: _JobRecord) -> None:
+        # Only the preempt request is cleared: an injected crash armed while
+        # the job sat in the queue must still fire once it runs.
+        rec.preempt_event.clear()
+        ctx = JobContext(self, rec)
+        self._transition_locked(rec, "running")
+        self._running.append(rec)
+        rec.thread = threading.Thread(
+            target=self._run_job, args=(rec, ctx), name=f"job-{rec.spec.name}", daemon=True
+        )
+        rec.thread.start()
+
+    def _supervise(self) -> None:
+        with self._cond:
+            while True:
+                if self._stop:
+                    return
+                now = time.monotonic()
+                ready = self._ready_locked(now)
+                if not self._draining:
+                    while ready and len(self._running) < self.config.max_running:
+                        self._launch_locked(ready.pop(0))
+                    if ready and self._running:
+                        # Full house: ask the weakest running job to yield if
+                        # something strictly more important is waiting.
+                        best = ready[0]
+                        victim = min(self._running, key=lambda r: (r.spec.priority, -r.index))
+                        if (
+                            victim.spec.priority < best.spec.priority
+                            and not victim.preempt_event.is_set()
+                        ):
+                            victim.preempt_event.set()
+                            self.fault_log.record(
+                                "scheduler",
+                                "preempt",
+                                f"preempting {victim.spec.name!r} (priority "
+                                f"{victim.spec.priority}) for {best.spec.name!r} "
+                                f"(priority {best.spec.priority})",
+                            )
+                else:
+                    for rec in self._running:
+                        rec.preempt_event.set()
+                timeout = self.config.poll_s
+                pending_backoff = [
+                    rec.backoff_until - now for rec in self._order if rec.state == "backoff"
+                ]
+                if pending_backoff:
+                    timeout = max(0.0, min(timeout, min(pending_backoff)))
+                self._cond.wait(timeout)
+
+    def _run_job(self, rec: _JobRecord, ctx: JobContext) -> None:
+        try:
+            runner = _resolve_runner(rec.spec.runner)
+            result = runner(ctx)
+        except EnginePreempted as exc:
+            with self._cond:
+                self._running.remove(rec)
+                rec.resume = True
+                rec.fault_log.record(
+                    "scheduler", "preempt", f"checkpointed; resumes at cycle {exc.next_cycle}"
+                )
+                self._transition_locked(rec, "preempted")
+                # Outside a drain the job immediately re-enters the queue.
+                if not self._draining:
+                    self._transition_locked(rec, "pending")
+                self._cond.notify_all()
+        except BaseException as exc:  # crash isolation: nothing escapes the thread
+            with self._cond:
+                self._running.remove(rec)
+                rec.attempts += 1
+                rec.resume = True
+                rec.error = f"{type(exc).__name__}: {exc}"
+                budget = rec.spec.max_attempts or self.config.max_attempts
+                if rec.attempts >= budget:
+                    self.fault_log.record(
+                        "scheduler",
+                        "job-failed",
+                        f"{rec.spec.name!r} exhausted {budget} attempts: {rec.error}",
+                    )
+                    self._transition_locked(rec, "failed")
+                else:
+                    delay = self._retry_delay_locked(rec.attempts)
+                    rec.backoff_until = time.monotonic() + delay
+                    rec.fault_log.record(
+                        "scheduler",
+                        "job-retry",
+                        f"attempt {rec.attempts}/{budget} crashed ({rec.error}); "
+                        f"requeued after {delay:.3f}s backoff",
+                    )
+                    self._transition_locked(rec, "backoff")
+                self._cond.notify_all()
+        else:
+            with self._cond:
+                self._running.remove(rec)
+                rec.result = _jsonable(result) if isinstance(result, dict) else None
+                rec.error = None
+                self._transition_locked(rec, "done")
+                self._cond.notify_all()
+
+    def _retry_delay_locked(self, attempt: int) -> float:
+        """Jittered exponential backoff (dedicated rng — never an experiment stream)."""
+        jitter = float(self._backoff_rng.uniform(0.5, 1.5))
+        return self.config.retry_backoff_s * (2 ** (attempt - 1)) * jitter
+
+    # -- lifecycle ---------------------------------------------------------- #
+    def start(self) -> None:
+        """Start the supervisor thread (idempotent)."""
+        with self._cond:
+            if self._supervisor is not None and self._supervisor.is_alive():
+                return
+            self._stop = False
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="experiment-supervisor", daemon=True
+            )
+            self._supervisor.start()
+
+    def request_drain(self) -> None:
+        """Signal-safe: stop launching and preempt running jobs (non-blocking)."""
+        with self._cond:
+            self._draining = True
+            for rec in self._running:
+                rec.preempt_event.set()
+            self._cond.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Checkpoint-preempt everything, flush the journal, stop the supervisor.
+
+        Returns ``True`` once no job is running (all progress durably in
+        checkpoints + journal), ``False`` on timeout.
+        """
+        self.request_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._running:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining if remaining is not None else self.config.poll_s)
+            self._write_journal_locked()
+        self._shutdown_supervisor()
+        return True
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM → graceful drain request (main thread only)."""
+        signal.signal(signal.SIGTERM, lambda signum, frame: self.request_drain())
+
+    def _shutdown_supervisor(self) -> None:
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
+
+    def run_until_complete(self, timeout: float | None = None) -> dict[str, str]:
+        """Start, wait for every job to reach a terminal state, and stop.
+
+        A drain request (e.g. SIGTERM) also ends the wait once running jobs
+        have checkpointed out.  Returns the final name → state map.
+        """
+        self.start()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                live = [rec for rec in self._order if rec.state not in TERMINAL_STATES]
+                if not live:
+                    break
+                if self._draining and not self._running:
+                    break
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self._shutdown_supervisor_from_wait()
+                    raise TimeoutError(
+                        f"{len(live)} job(s) not terminal after {timeout}s: "
+                        f"{[rec.spec.name for rec in live]}"
+                    )
+                self._cond.wait(min(self.config.poll_s, remaining) if remaining else self.config.poll_s)
+        self._shutdown_supervisor()
+        return self.status()
+
+    def _shutdown_supervisor_from_wait(self) -> None:
+        # Called with the lock held: flip the flag here, join outside.
+        self._stop = True
+        self._cond.notify_all()
+
+    def close(self) -> None:
+        self._shutdown_supervisor()
+
+    def __enter__(self) -> "ExperimentService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# A built-in job runner: a small Lorenz-96 + EnSF OSSE.  Importable as
+# "repro.workflow.scheduler:lorenz96_ensf_job", which is what the examples,
+# the chaos soak and the scheduler tests submit.
+# --------------------------------------------------------------------------- #
+
+
+def lorenz96_ensf_job(ctx: JobContext) -> dict:
+    """Run a checkpointed Lorenz-96/EnSF OSSE as an experiment-service job.
+
+    ``ctx.params``: ``dim`` (default 12), ``n_cycles`` (8),
+    ``steps_per_cycle`` (2), ``ensemble_size`` (8), ``seed`` (0),
+    ``n_sde_steps`` (8), ``obs_error_var`` (0.5), ``spinup`` (50).
+    Deterministic in its params: the same submission always produces the
+    same RMSE history, which is what the chaos certification compares.
+    """
+    from repro.core.ensf import EnSF, EnSFConfig
+    from repro.core.observations import IdentityObservation
+    from repro.da.cycling import OSSEConfig, run_osse
+    from repro.models.lorenz96 import Lorenz96
+
+    p = ctx.params
+    dim = int(p.get("dim", 12))
+    seed = int(p.get("seed", 0))
+    model = Lorenz96(dim=dim)
+    truth0 = model.spinup(int(p.get("spinup", 50)), rng=seed)
+    operator = IdentityObservation(dim, obs_error_var=float(p.get("obs_error_var", 0.5)))
+    filter_ = EnSF(EnSFConfig(n_sde_steps=int(p.get("n_sde_steps", 8))), rng=seed + 5)
+    config = OSSEConfig(
+        n_cycles=int(p.get("n_cycles", 8)),
+        steps_per_cycle=int(p.get("steps_per_cycle", 2)),
+        ensemble_size=int(p.get("ensemble_size", 8)),
+        seed=seed,
+    )
+    result = run_osse(
+        model,
+        model,
+        filter_,
+        operator,
+        truth0,
+        config,
+        executor=ctx.executor,
+        fault_log=ctx.fault_log,
+        **ctx.engine_kwargs(),
+    )
+    return {
+        "analysis_rmse": [float(v) for v in result.analysis_rmse],
+        "forecast_rmse": [float(v) for v in result.forecast_rmse],
+        "final_rmse": float(result.analysis_rmse[-1]),
+        "fault_recoveries": len(ctx.fault_log),
+    }

@@ -1,15 +1,13 @@
-"""Shared test fixtures: the ``slow_reference`` oracle bundle and the
-backend-parametrized ``array_backend`` fixture.
+"""Shared test fixtures: the backend-parametrized ``array_backend`` fixture.
 
-``slow_reference`` carries the ROADMAP "reference-path retirement" item:
-every test that exercises a pre-refactor reference implementation —
-``LETKF.analyze_reference``, ``MonteCarloScoreEstimator.score_reference``,
-the ``fused=False`` EnSF / ``reuse_buffers=False`` sampler configurations,
-and the forecast oracle ``SQGModel.step_spectral_reference`` — reaches it
-through the :func:`slow_reference` fixture and is automatically tagged with
-the ``slow_reference`` marker.  The oracle inventory is down to one oracle
-test per kernel (see ROADMAP.md); the backend-parametrized equivalence
-suite now certifies the fused kernels against each other across backends.
+The ``slow_reference`` oracle bundle that used to live here is gone: the
+ROADMAP "reference-path retirement" item completed and the pre-refactor
+implementations (``LETKF.analyze_reference``,
+``MonteCarloScoreEstimator.score_reference``, the ``fused=False`` EnSF /
+``reuse_buffers=False`` sampler configurations, and
+``SQGModel.step_spectral_reference``) were deleted from the source tree.
+The backend-parametrized equivalence suite certifies the fused kernels
+against each other across backends instead.
 
 ``array_backend`` re-runs the kernel-equivalence tests that request it
 under **every** registered array backend (:mod:`repro.utils.xp`), skipping
@@ -29,61 +27,6 @@ import repro.utils.xp as xp_mod
 # The full registry, not available_backends(): unavailable entries must be
 # *visible* as skips, not silently dropped from the matrix.
 ARRAY_BACKEND_PARAMS = ("numpy", "mock-device", "cupy")
-
-
-class ReferenceOracles:
-    """Accessors for the slow pre-refactor reference implementations.
-
-    Each method is a thin indirection; the point is that reference-path
-    usage is *named and greppable* rather than scattered as direct calls.
-    """
-
-    # -- PR 1 analysis oracles ------------------------------------------- #
-    @staticmethod
-    def letkf_analyze(letkf, *args, **kwargs):
-        """Per-column LETKF loop (oracle for the batched kernel)."""
-        return letkf.analyze_reference(*args, **kwargs)
-
-    @staticmethod
-    def score(estimator, *args, **kwargs):
-        """Unfused Monte-Carlo score path (oracle for ``score_into``)."""
-        return estimator.score_reference(*args, **kwargs)
-
-    @staticmethod
-    def ensf(config_kwargs=None, rng=None):
-        """EnSF on the unfused analysis path (``fused=False``)."""
-        from repro.core.ensf import EnSF, EnSFConfig
-
-        kwargs = dict(config_kwargs or {})
-        kwargs["fused"] = False
-        return EnSF(EnSFConfig(**kwargs), rng=rng)
-
-    @staticmethod
-    def sde_sampler(*args, **kwargs):
-        """Reverse-SDE integrator without buffer reuse."""
-        from repro.core.sde import ReverseSDESampler
-
-        kwargs["reuse_buffers"] = False
-        return ReverseSDESampler(*args, **kwargs)
-
-    # -- PR 2 forecast oracle -------------------------------------------- #
-    @staticmethod
-    def sqg_step(model, theta_spec):
-        """Pre-fusion RK4 pseudo-spectral step (oracle for the fused kernel)."""
-        return model.step_spectral_reference(theta_spec)
-
-    @staticmethod
-    def sqg_model(params=None, **kwargs):
-        """An :class:`SQGModel` forced onto the reference step path."""
-        from repro.models.sqg import SQGModel
-
-        return SQGModel(params, fused=False, **kwargs)
-
-
-@pytest.fixture
-def slow_reference() -> ReferenceOracles:
-    """Handle to the slow reference oracles (tags the test ``slow_reference``)."""
-    return ReferenceOracles()
 
 
 @pytest.fixture(params=ARRAY_BACKEND_PARAMS)
@@ -112,7 +55,5 @@ def pytest_collection_modifyitems(items):
     """Auto-mark tests by the harness fixtures they request."""
     for item in items:
         fixtures = getattr(item, "fixturenames", ())
-        if "slow_reference" in fixtures:
-            item.add_marker(pytest.mark.slow_reference)
         if "array_backend" in fixtures:
             item.add_marker(pytest.mark.array_backend)

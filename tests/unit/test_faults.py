@@ -19,6 +19,7 @@ Four layers of coverage for the fault-tolerant cycling runtime:
 """
 
 import pickle
+import threading
 
 import numpy as np
 import pytest
@@ -144,6 +145,49 @@ class TestFaultPlan:
         with pytest.raises(ValueError, match="malformed fault payload"):
             FaultPlan.from_spec("worker-crash@executor:1,oops")
 
+    def test_malformed_occurrence_quotes_the_entry(self):
+        """A typo'd occurrence must fail fast and name the offending entry."""
+        with pytest.raises(
+            ValueError, match=r"malformed occurrence 'x'.*'worker-crash@executor:x'"
+        ):
+            FaultPlan.from_spec("worker-crash@executor:x")
+        with pytest.raises(ValueError, match=r"malformed occurrence '1\.5'"):
+            FaultPlan.from_spec("worker-crash@executor:1.5")
+        with pytest.raises(
+            ValueError,
+            match=r"occurrence must be non-negative.*'worker-crash@executor:-2'",
+        ):
+            FaultPlan.from_spec("worker-crash@executor:-2")
+
+    def test_unknown_payload_key_quotes_kind_and_known_keys(self):
+        """A typo'd payload key must be rejected up front, not silently ignored."""
+        with pytest.raises(
+            ValueError, match=r"unknown payload key\(s\) \['hangs'\].*'task-hang'"
+        ):
+            FaultPlan.from_spec("task-hang@executor:1,hangs=0.5")
+        # the known-key inventory is part of the message (typo guidance)
+        with pytest.raises(ValueError, match=r"known: \['keep'\]"):
+            FaultPlan.from_spec("journal-torn@scheduler:0,kep=0.3")
+        # a valid key on the wrong kind is still unknown for that kind
+        with pytest.raises(ValueError, match="unknown payload key"):
+            FaultPlan.from_spec("service-kill@scheduler:0,keep=0.5")
+
+    def test_duplicate_events_rejected_with_spec(self):
+        """The same (kind, site, occurrence) scheduled twice is a plan bug."""
+        with pytest.raises(
+            ValueError, match=r"duplicate fault event 'worker-crash@executor:3'"
+        ):
+            FaultPlan.from_spec("worker-crash@executor:3;worker-crash@executor:3")
+        # duplicates differing only in payload still collide (they would race
+        # for the same visit)
+        with pytest.raises(ValueError, match="at most once"):
+            FaultPlan.from_spec(
+                "journal-torn@scheduler:2,keep=0.1;journal-torn@scheduler:2,keep=0.9"
+            )
+        # distinct occurrences of the same kind remain legal
+        plan = FaultPlan.from_spec("worker-crash@executor:3;worker-crash@executor:5")
+        assert len(plan) == 2
+
     def test_fault_log_counting(self):
         log = FaultLog()
         log.record("executor", "retry", "x", cycle=1)
@@ -153,6 +197,65 @@ class TestFaultPlan:
         assert log.count(action="retry") == 1
         assert log.count(site="executor") == 2
         assert log.summary() == {"retry": 1, "pool-rebuild": 1, "qc-reject": 1}
+
+
+class TestFaultThreadSafety:
+    """FaultLog/FaultPlan are shared by scheduler jobs running in threads:
+    concurrent records must never be lost and one-shot events must fire
+    exactly once even under contended visits."""
+
+    N_THREADS = 8
+
+    def _run_threads(self, work):
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def body(i):
+            barrier.wait()  # maximize interleaving
+            work(i)
+
+        threads = [
+            threading.Thread(target=body, args=(i,)) for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_concurrent_records_are_all_kept(self):
+        log = FaultLog()
+        per_thread = 250
+
+        def work(i):
+            for j in range(per_thread):
+                log.record("scheduler", "job-retry", f"t{i}.{j}", cycle=j)
+
+        self._run_threads(work)
+        total = self.N_THREADS * per_thread
+        assert len(log) == total
+        assert log.summary() == {"job-retry": total}
+        assert log.count(site="scheduler") == total
+        # no record was torn: every entry still parses back to its writer
+        details = {record.detail for record in log}
+        assert len(details) == total
+
+    def test_concurrent_visits_fire_each_event_once(self):
+        per_thread = 50
+        plan = FaultPlan.from_spec(
+            "worker-crash@executor:10;task-hang@executor:177"
+        )
+        fired = []
+        fired_lock = threading.Lock()
+
+        def work(i):
+            for _ in range(per_thread):
+                events = plan.visit("executor")
+                if events:
+                    with fired_lock:
+                        fired.extend(events)
+
+        self._run_threads(work)
+        assert plan.visits("executor") == self.N_THREADS * per_thread
+        assert sorted(e.kind for e in fired) == ["task-hang", "worker-crash"]
 
 
 # --------------------------------------------------------------------------- #

@@ -22,6 +22,7 @@ from repro.da.localization import LocalizationConfig
 from repro.models.lorenz96 import Lorenz96
 from repro.surrogate.presets import TABLE_II_PRESETS, laptop_preset
 from repro.surrogate.vit import ViTConfig
+from repro.utils.faults import FaultPlan
 from repro.utils.grid import Grid2D
 
 MB = 2.0**20
@@ -516,6 +517,77 @@ class TestScalingHarness:
             assert executor.fault_log.count(action="pool-rebuild") == 1
         finally:
             executor.close()
+
+
+class TestRetryBackoffJitter:
+    """Retry delays are exponential with multiplicative jitter drawn from a
+    dedicated rng — never from an experiment stream, so healing a fault can
+    never shift scientific results."""
+
+    def test_delay_bounds_and_exponential_growth(self):
+        executor = EnsembleExecutor(n_workers=2, retry_backoff_s=0.2, backoff_seed=0)
+        try:
+            for attempt in (1, 2, 3):
+                base = 0.2 * 2 ** (attempt - 1)
+                delays = [executor._retry_delay(attempt) for _ in range(200)]
+                assert all(0.5 * base <= d <= 1.5 * base for d in delays)
+                # jitter actually varies (not a constant factor)
+                assert max(delays) - min(delays) > 0.1 * base
+        finally:
+            executor.close()
+
+    def test_backoff_seed_reproducible_and_isolated(self):
+        a = EnsembleExecutor(n_workers=2, retry_backoff_s=0.1, backoff_seed=7)
+        b = EnsembleExecutor(n_workers=2, retry_backoff_s=0.1, backoff_seed=7)
+        try:
+            assert [a._retry_delay(1) for _ in range(16)] == [
+                b._retry_delay(1) for _ in range(16)
+            ]
+        finally:
+            a.close()
+            b.close()
+
+    def test_zero_backoff_stays_zero(self):
+        executor = EnsembleExecutor(n_workers=2, retry_backoff_s=0.0, backoff_seed=1)
+        try:
+            assert executor._retry_delay(1) == 0.0
+            assert executor._retry_delay(4) == 0.0
+        finally:
+            executor.close()
+
+
+class TestExecutorLease:
+    """Per-job views of a shared pool: own fault log, own (empty) fault plan."""
+
+    def test_lease_routes_faults_to_its_own_log(self):
+        model = Lorenz96(dim=8)
+        ens = np.random.default_rng(5).normal(size=(4, 8)) + 8.0
+        plan = FaultPlan.from_spec("worker-crash@executor:0")
+        with EnsembleExecutor(
+            n_workers=1, retry_backoff_s=0.0, fault_plan=FaultPlan()
+        ) as executor:
+            lease = executor.lease(job="job-a", fault_plan=plan)
+            out = lease.map_states(model, ens, n_steps=2)
+            np.testing.assert_array_equal(out, model.forecast(ens, n_steps=2))
+            # the injected crash healed into the lease's log, not the pool's
+            assert lease.fault_log.count(action="retry") == 1
+            assert len(executor.fault_log) == 0
+            assert lease.parent is executor
+
+    def test_lease_defaults_to_no_faults(self):
+        model = Lorenz96(dim=8)
+        ens = np.random.default_rng(6).normal(size=(3, 8)) + 8.0
+        plan = FaultPlan.from_spec("worker-crash@executor:0")
+        with EnsembleExecutor(
+            n_workers=1, retry_backoff_s=0.0, fault_plan=plan
+        ) as executor:
+            lease = executor.lease(job="job-b")
+            # env/executor plans do not leak into leases: each job opts in
+            lease.map_states(model, ens, n_steps=1)
+            assert len(lease.fault_log) == 0
+            # the executor's own plan still applies to direct (non-lease) use
+            executor.map_states(model, ens, n_steps=1)
+            assert executor.fault_log.count(action="retry") == 1
 
 
 class TestParallelAnalysis:

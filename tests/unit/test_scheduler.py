@@ -1,0 +1,342 @@
+"""Experiment-service certification suite (crash isolation, preemption,
+resume-on-failure, durable journal, drain, backpressure).
+
+The load-bearing claim everywhere: whatever the scheduler does to a job —
+preempt it, crash it, requeue it, restart the whole service from the
+journal — the job's scientific results are **bit-identical** to an
+undisturbed run of the same submission, because progress only ever moves
+through the engine's checksummed checkpoints.  ``_clean_rmse`` computes
+that undisturbed oracle by running the same OSSE directly, with no
+checkpointing and no service machinery at all.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.faults import FaultPlan
+from repro.workflow.scheduler import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    ExperimentService,
+    JobSpec,
+    ServiceConfig,
+    lorenz96_ensf_job,
+)
+
+RUNNER = "repro.workflow.scheduler:lorenz96_ensf_job"
+
+# Small-but-real OSSE workloads: SHORT finishes fast, LONG spans enough
+# cycle boundaries for a preemption/crash to land mid-run.
+SHORT = {"dim": 12, "n_cycles": 4, "ensemble_size": 6, "n_sde_steps": 5, "spinup": 30}
+LONG = dict(SHORT, n_cycles=40)
+
+_CLEAN_CACHE: dict = {}
+
+
+def _clean_rmse(params) -> list:
+    """Oracle: the same OSSE run directly — no service, no checkpoints."""
+    key = tuple(sorted(params.items()))
+    if key not in _CLEAN_CACHE:
+        from repro.core.ensf import EnSF, EnSFConfig
+        from repro.core.observations import IdentityObservation
+        from repro.da.cycling import OSSEConfig, run_osse
+        from repro.models.lorenz96 import Lorenz96
+
+        p = dict(params)
+        dim = int(p.get("dim", 12))
+        seed = int(p.get("seed", 0))
+        model = Lorenz96(dim=dim)
+        truth0 = model.spinup(int(p.get("spinup", 50)), rng=seed)
+        operator = IdentityObservation(dim, obs_error_var=float(p.get("obs_error_var", 0.5)))
+        filter_ = EnSF(EnSFConfig(n_sde_steps=int(p.get("n_sde_steps", 8))), rng=seed + 5)
+        config = OSSEConfig(
+            n_cycles=int(p.get("n_cycles", 8)),
+            steps_per_cycle=int(p.get("steps_per_cycle", 2)),
+            ensemble_size=int(p.get("ensemble_size", 8)),
+            seed=seed,
+        )
+        result = run_osse(model, model, filter_, operator, truth0, config)
+        _CLEAN_CACHE[key] = [float(v) for v in result.analysis_rmse]
+    return _CLEAN_CACHE[key]
+
+
+def _service(tmp_path, **kwargs) -> ExperimentService:
+    config = kwargs.pop("config", None) or ServiceConfig(
+        max_running=2, retry_backoff_s=0.01, poll_s=0.01
+    )
+    return ExperimentService(tmp_path / "journal.json", config=config, **kwargs)
+
+
+def _wait_for_state(service, name, state, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if service.state(name) == state:
+            return
+        time.sleep(0.005)
+    raise AssertionError(
+        f"job {name!r} never reached {state!r} (now {service.state(name)!r})"
+    )
+
+
+def _always_crash(ctx):
+    raise RuntimeError("synthetic job bug")
+
+
+def _slow_job(ctx):
+    time.sleep(0.2)
+    return {"ok": True}
+
+
+# --------------------------------------------------------------------------- #
+# validation / submission
+# --------------------------------------------------------------------------- #
+
+
+class TestValidation:
+    def test_service_config_bounds(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_running=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queued=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(checkpoint_every=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(keep_last=0)
+
+    def test_job_spec_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            JobSpec(name="", runner=RUNNER)
+        with pytest.raises(ValueError, match="module:qualname"):
+            JobSpec(name="x", runner="not-a-ref")
+        with pytest.raises(ValueError, match="not importable"):
+            JobSpec(name="x", runner=lambda ctx: None)
+        with pytest.raises(TypeError):
+            JobSpec(name="x", runner=RUNNER, params={"bad": object()})
+        with pytest.raises(ValueError):
+            JobSpec(name="x", runner=RUNNER, max_attempts=0)
+        # a module-level callable normalizes to its importable reference
+        assert JobSpec(name="x", runner=lorenz96_ensf_job).runner == RUNNER
+
+    def test_submit_rejects_unimportable_runner_early(self, tmp_path):
+        with _service(tmp_path) as svc:
+            with pytest.raises(ValueError, match="not importable"):
+                svc.submit("job", "no.such.module:fn")
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        with _service(tmp_path) as svc:
+            assert svc.submit("job", RUNNER, params=SHORT) == "pending"
+            with pytest.raises(ValueError, match="already submitted"):
+                svc.submit("job", RUNNER, params=SHORT)
+
+    def test_lifecycle_constants(self):
+        assert set(TERMINAL_STATES) <= set(JOB_STATES)
+        assert "running" not in TERMINAL_STATES
+
+
+# --------------------------------------------------------------------------- #
+# happy path
+# --------------------------------------------------------------------------- #
+
+
+class TestCompletion:
+    def test_jobs_complete_with_clean_results(self, tmp_path):
+        with _service(tmp_path) as svc:
+            for i in range(3):
+                params = dict(SHORT, seed=i)
+                assert svc.submit(f"job-{i}", RUNNER, params=params) == "pending"
+            states = svc.run_until_complete(timeout=120.0)
+        assert states == {f"job-{i}": "done" for i in range(3)}
+        for i in range(3):
+            result = svc.result(f"job-{i}")
+            # journal round-trips results through JSON: plain builtins only
+            json.dumps(result)
+            assert result["analysis_rmse"] == _clean_rmse(dict(SHORT, seed=i))
+            assert result["final_rmse"] == result["analysis_rmse"][-1]
+
+    def test_status_snapshot_and_accessors(self, tmp_path):
+        with _service(tmp_path) as svc:
+            svc.submit("job", RUNNER, params=SHORT)
+            assert svc.status() == {"job": "pending"}
+            assert svc.result("job") is None
+            assert len(svc.job_fault_log("job")) == 0
+            svc.run_until_complete(timeout=60.0)
+            assert svc.status() == {"job": "done"}
+
+
+# --------------------------------------------------------------------------- #
+# preemption
+# --------------------------------------------------------------------------- #
+
+
+class TestPreemption:
+    def test_high_priority_preempts_and_both_finish_bit_identically(self, tmp_path):
+        config = ServiceConfig(max_running=1, retry_backoff_s=0.01, poll_s=0.01)
+        low_params = dict(LONG, seed=1)
+        high_params = dict(SHORT, seed=2)
+        with _service(tmp_path, config=config) as svc:
+            svc.start()
+            svc.submit("low", RUNNER, params=low_params, priority=0)
+            _wait_for_state(svc, "low", "running")
+            svc.submit("high", RUNNER, params=high_params, priority=10)
+            states = svc.run_until_complete(timeout=180.0)
+        assert states == {"low": "done", "high": "done"}
+        # the yield is visible in both ledgers...
+        assert svc.fault_log.count(action="preempt") >= 1
+        assert svc.job_fault_log("low").count(action="preempt") >= 1
+        # ...and checkpoint-resume kept the interrupted job bit-identical
+        assert svc.result("low")["analysis_rmse"] == _clean_rmse(low_params)
+        assert svc.result("high")["analysis_rmse"] == _clean_rmse(high_params)
+        # preemption never consumes the crash budget
+        assert svc.job_fault_log("low").count(action="job-retry") == 0
+
+    def test_equal_priority_never_preempts(self, tmp_path):
+        config = ServiceConfig(max_running=1, retry_backoff_s=0.01, poll_s=0.01)
+        with _service(tmp_path, config=config) as svc:
+            svc.start()
+            svc.submit("first", RUNNER, params=dict(SHORT, seed=3), priority=5)
+            svc.submit("second", RUNNER, params=dict(SHORT, seed=4), priority=5)
+            states = svc.run_until_complete(timeout=120.0)
+        assert states == {"first": "done", "second": "done"}
+        assert svc.fault_log.count(action="preempt") == 0
+
+
+# --------------------------------------------------------------------------- #
+# crash isolation + resume-on-failure
+# --------------------------------------------------------------------------- #
+
+
+class TestCrashRecovery:
+    def test_injected_crash_heals_bit_identically(self, tmp_path):
+        params = dict(LONG, seed=5)
+        # scheduler-site visits count journal writes: #0 submit, #1 the
+        # pending->running transition -- so occurrence 1 arms the crash just
+        # as the job starts and it fires at the next cycle boundary
+        plan = FaultPlan.from_spec("job-crash@scheduler:1,job=victim")
+        with _service(tmp_path, fault_plan=plan) as svc:
+            svc.submit("victim", RUNNER, params=params)
+            states = svc.run_until_complete(timeout=180.0)
+        assert states == {"victim": "done"}
+        log = svc.job_fault_log("victim").summary()
+        assert log.get("job-crash") == 1
+        assert log.get("job-retry") == 1
+        assert svc.result("victim")["analysis_rmse"] == _clean_rmse(params)
+
+    def test_crash_in_one_job_never_touches_siblings(self, tmp_path):
+        params = dict(SHORT, seed=6)
+        with _service(tmp_path) as svc:
+            svc.submit("crasher", "test_scheduler:_always_crash", max_attempts=2)
+            svc.submit("healthy", RUNNER, params=params)
+            states = svc.run_until_complete(timeout=120.0)
+        assert states == {"crasher": "failed", "healthy": "done"}
+        assert svc.result("healthy")["analysis_rmse"] == _clean_rmse(params)
+
+    def test_retry_budget_exhaustion_is_terminal(self, tmp_path):
+        with _service(tmp_path) as svc:
+            svc.submit("doomed", "test_scheduler:_always_crash", max_attempts=3)
+            states = svc.run_until_complete(timeout=60.0)
+        assert states == {"doomed": "failed"}
+        assert svc.job_fault_log("doomed").count(action="job-retry") == 2
+        assert svc.fault_log.count(action="job-failed") == 1
+        with svc._lock:
+            rec = svc._jobs["doomed"]
+        assert rec.attempts == 3
+        assert "synthetic job bug" in rec.error
+
+
+# --------------------------------------------------------------------------- #
+# journal durability + restart recovery
+# --------------------------------------------------------------------------- #
+
+
+class TestJournal:
+    def test_checksum_rejects_tampering(self, tmp_path):
+        with _service(tmp_path) as svc:
+            svc.submit("job", RUNNER, params=SHORT)
+        path = tmp_path / "journal.json"
+        payload = ExperimentService.load_journal(path)
+        assert payload["jobs"][0]["name"] == "job"
+        wrapper = json.loads(path.read_text())
+        wrapper["payload"]["jobs"][0]["state"] = "done"  # tamper
+        path.write_text(json.dumps(wrapper))
+        assert ExperimentService.load_journal(path) is None
+
+    def test_restart_requeues_non_terminal_and_keeps_results(self, tmp_path):
+        params = dict(SHORT, seed=7)
+        with _service(tmp_path) as svc:
+            svc.submit("finished", RUNNER, params=params)
+            svc.run_until_complete(timeout=60.0)
+            svc.submit("waiting", RUNNER, params=dict(SHORT, seed=8))
+        # new service, same journal: the finished job keeps its result, the
+        # pending one is requeued (with resume=True) and completes
+        with _service(tmp_path) as svc2:
+            assert svc2.status() == {"finished": "done", "waiting": "pending"}
+            assert svc2.result("finished")["analysis_rmse"] == _clean_rmse(params)
+            states = svc2.run_until_complete(timeout=60.0)
+        assert states["waiting"] == "done"
+        assert svc2.result("waiting")["analysis_rmse"] == _clean_rmse(dict(SHORT, seed=8))
+
+    def test_torn_journal_falls_back_to_previous_generation(self, tmp_path):
+        with _service(tmp_path) as svc:
+            svc.submit("a", RUNNER, params=SHORT)
+            svc.submit("b", RUNNER, params=dict(SHORT, seed=9))
+        path = tmp_path / "journal.json"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])  # tear the newest write
+        with _service(tmp_path) as svc2:
+            assert svc2.fault_log.count(action="journal-fallback") == 1
+            # the .prev generation predates submission of "b" by one write,
+            # but both jobs were journaled at least once
+            assert "a" in svc2.status()
+
+    def test_recover_false_starts_empty(self, tmp_path):
+        with _service(tmp_path) as svc:
+            svc.submit("job", RUNNER, params=SHORT)
+        with _service(tmp_path, recover=False) as svc2:
+            assert svc2.status() == {}
+
+
+# --------------------------------------------------------------------------- #
+# drain + backpressure
+# --------------------------------------------------------------------------- #
+
+
+class TestDrainAndBackpressure:
+    def test_backpressure_rejects_beyond_max_queued(self, tmp_path):
+        config = ServiceConfig(max_running=1, max_queued=2, poll_s=0.01)
+        with _service(tmp_path, config=config) as svc:
+            assert svc.submit("a", RUNNER, params=SHORT) == "pending"
+            assert svc.submit("b", RUNNER, params=SHORT) == "pending"
+            assert svc.submit("c", RUNNER, params=SHORT) == "rejected"
+            assert svc.state("c") == "rejected"
+            assert svc.fault_log.count(action="reject") == 1
+        # rejected is terminal: a restarted service does not resurrect it
+        with _service(tmp_path) as svc2:
+            assert svc2.status()["c"] == "rejected"
+
+    def test_drain_checkpoints_running_jobs_then_restart_completes(self, tmp_path):
+        params = dict(LONG, seed=10)
+        config = ServiceConfig(max_running=1, retry_backoff_s=0.01, poll_s=0.01)
+        with _service(tmp_path, config=config) as svc:
+            svc.start()
+            svc.submit("job", RUNNER, params=params)
+            _wait_for_state(svc, "job", "running")
+            assert svc.drain(timeout=60.0)
+            # drained mid-run: preempted (checkpointed), not failed/pending
+            assert svc.state("job") == "preempted"
+        with _service(tmp_path, config=config) as svc2:
+            assert svc2.status() == {"job": "pending"}
+            states = svc2.run_until_complete(timeout=180.0)
+        assert states == {"job": "done"}
+        assert svc2.result("job")["analysis_rmse"] == _clean_rmse(params)
+
+    def test_run_until_complete_timeout(self, tmp_path):
+        with _service(tmp_path) as svc:
+            svc.submit("slow", "test_scheduler:_slow_job")
+            with pytest.raises(TimeoutError, match="slow"):
+                svc.run_until_complete(timeout=0.01)
