@@ -54,7 +54,35 @@ def main(argv: list[str] | None = None) -> int:
             str(BENCH_DIR / "test_bench_kernels.py"),
             str(BENCH_DIR / "test_bench_forecast.py"),
         ]
-    return pytest.main(["-m", "bench", "-q", "-s", *targets, *argv])
+    rc = pytest.main(["-m", "bench", "-q", "-s", *targets, *argv])
+    if rc == 0:
+        _print_residency_summary()
+    return rc
+
+
+def _print_residency_summary() -> None:
+    """Echo the recorded per-cycle transfer budget after a refresh.
+
+    The ``residency`` entry of ``BENCH_forecast.json`` is the device-
+    residency contract in numbers: steady-state host transfers per OSSE
+    cycle on the metered mock-device backend, certified configuration-
+    independent by ``tests/unit/test_device_residency.py``.
+    """
+    import json
+
+    path = REPO_ROOT / "BENCH_forecast.json"
+    try:
+        residency = json.loads(path.read_text(encoding="utf-8")).get("residency")
+    except (OSError, ValueError):
+        return
+    if not residency:
+        return
+    print("[run_all] per-cycle host-transfer budget "
+          f"({residency.get('array_backend', '?')}):")
+    for name, budget in residency.get("per_cycle", {}).items():
+        if isinstance(budget, dict):
+            print(f"[run_all]   {name}: {budget.get('h2d_calls')} up / "
+                  f"{budget.get('d2h_calls')} down")
 
 
 if __name__ == "__main__":

@@ -10,33 +10,37 @@
 #      array backend forced to ``mock-device`` via the environment variable
 #      (proving both the env-var precedence path and the transfer-metered
 #      dispatch layer without hardware).
-#   4. The BENCH_*.json perf baselines must keep their documented schema
+#   4. The routed kernel modules (sqg, letkf, ensf, score, sde) must pass
+#      the static xp-discipline check: no bare numpy compute calls outside
+#      the documented host-side functions, so device residency cannot rot
+#      silently (scripts/check_xp_discipline.py).
+#   5. The BENCH_*.json perf baselines must keep their documented schema
 #      (required keys present, speedup notes non-empty) so they cannot
 #      silently rot between benchmark refreshes.
-#   5. The streaming cycle engine must run a degraded observation scenario
+#   6. The streaming cycle engine must run a degraded observation scenario
 #      (dropout + rotating partial coverage) end to end, and a
 #      checkpoint/kill/resume round-trip must land on a bit-identical final
 #      analysis mean (the restartable-300-cycle-run contract).
-#   6. The fault-tolerant runtime must replay a recorded fault sequence
+#   7. The fault-tolerant runtime must replay a recorded fault sequence
 #      (worker crash + truncated checkpoint + corrupted obs batch) injected
 #      via REPRO_FAULT_PLAN against unmodified drivers, recover every fault
 #      (visible in the FaultLog), and produce exact-zero RMSE deltas versus
 #      the clean run — including a resume="auto" that walks past the torn
 #      checkpoint.
-#   7. The experiment service must survive a chaos soak: a multi-job
+#   8. The experiment service must survive a chaos soak: a multi-job
 #      priority sweep hard-killed mid-campaign (service-kill injected via
 #      REPRO_FAULT_PLAN, exit 137), then restarted from the journal, must
 #      finish every job with RMSE bit-identical to an undisturbed sweep.
-#   8. The tier-1 suite itself must pass; --durations=10 surfaces creeping
+#   9. The tier-1 suite itself must pass; --durations=10 surfaces creeping
 #      slow tests.
-# Usage: scripts/smoke.sh [extra pytest args for step 8]
+# Usage: scripts/smoke.sh [extra pytest args for step 9]
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== smoke 1/8: collection with scipy blocked (numpy-only install) =="
+echo "== smoke 1/9: collection with scipy blocked (numpy-only install) =="
 python - <<'EOF'
 import sys
 
@@ -66,10 +70,10 @@ if rc != 0:
 print("collection OK without scipy")
 EOF
 
-echo "== smoke 2/8: parallel-analysis worker invariance (n_workers=2 pool) =="
+echo "== smoke 2/9: parallel-analysis worker invariance (n_workers=2 pool) =="
 python -m pytest -x -q tests/unit/test_hpc.py::TestParallelAnalysis
 
-echo "== smoke 3/8: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
+echo "== smoke 3/9: backend suite under REPRO_ARRAY_BACKEND=mock-device =="
 # Prove the env-var resolution path itself in a fresh process (the
 # backend-parametrized fixture clears the env var to control its own
 # selection, so this assertion is the part the suite below cannot cover).
@@ -87,7 +91,10 @@ REPRO_ARRAY_BACKEND=mock-device python -m pytest -x -q \
     tests/unit/test_xp_backend.py tests/unit/test_kernels.py \
     tests/unit/test_forecast_kernels.py
 
-echo "== smoke 4/8: BENCH_*.json schema sanity =="
+echo "== smoke 4/9: static xp discipline in routed kernel modules =="
+python scripts/check_xp_discipline.py
+
+echo "== smoke 5/9: BENCH_*.json schema sanity =="
 python - <<'EOF'
 import json
 
@@ -100,9 +107,9 @@ SPECS = {
     "BENCH_forecast.json": dict(
         required=["benchmark", "created_unix", "sections", "fft_backend",
                   "forecast_step", "forecast_step_cases", "engine_overhead",
-                  "retry_overhead", "osse_128", "speedup_note"],
+                  "retry_overhead", "osse_128", "residency", "speedup_note"],
         notes=[("speedup_note",), ("engine_overhead", "note"),
-               ("retry_overhead", "note")],
+               ("retry_overhead", "note"), ("residency", "note")],
     ),
 }
 for path, spec in SPECS.items():
@@ -122,7 +129,7 @@ for path, spec in SPECS.items():
 print("BENCH schema OK")
 EOF
 
-echo "== smoke 5/8: streaming scenario end-to-end + checkpoint/kill/resume =="
+echo "== smoke 6/9: streaming scenario end-to-end + checkpoint/kill/resume =="
 python - <<'EOF'
 import os
 import tempfile
@@ -169,7 +176,7 @@ assert np.array_equal(resumed.analysis_rmse, full.analysis_rmse)
 print("scenario run OK; checkpoint/kill/resume bit-identical")
 EOF
 
-echo "== smoke 6/8: recorded fault-sequence replay (REPRO_FAULT_PLAN) =="
+echo "== smoke 7/9: recorded fault-sequence replay (REPRO_FAULT_PLAN) =="
 python - <<'EOF'
 import os
 import tempfile
@@ -250,8 +257,8 @@ with tempfile.TemporaryDirectory() as tmp:
 print("fault replay OK: all recoveries logged, RMSE deltas exactly zero")
 EOF
 
-echo "== smoke 7/8: experiment-service chaos soak (kill + restart + bit-identity) =="
+echo "== smoke 8/9: experiment-service chaos soak (kill + restart + bit-identity) =="
 python scripts/chaos_soak.py
 
-echo "== smoke 8/8: tier-1 suite with --durations=10 =="
+echo "== smoke 9/9: tier-1 suite with --durations=10 =="
 exec python -m pytest -x -q --durations=10 "$@"

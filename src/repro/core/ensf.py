@@ -33,6 +33,7 @@ from repro.core.schedules import LinearAlphaSchedule
 from repro.core.score import MonteCarloScoreEstimator
 from repro.core.sde import ReverseSDESampler
 from repro.utils.random import MemberStreams, default_rng
+from repro.utils.xp import as_host_array
 
 __all__ = ["EnSFConfig", "EnSF"]
 
@@ -324,8 +325,16 @@ class EnSF(EnsembleFilter):
         observation: np.ndarray,
         operator: ObservationOperator,
     ) -> np.ndarray:
-        """EnSF analysis step mapping the forecast ensemble to the analysis ensemble."""
-        forecast_ensemble = np.asarray(forecast_ensemble, dtype=float)
+        """EnSF analysis step mapping the forecast ensemble to the analysis ensemble.
+
+        Accepts a host array or a :class:`~repro.utils.xp.StateHandle` (the
+        cycle engine's device-state seam); the analysis itself needs the
+        host mirror for the affine state scaler, and its device work — the
+        score statics, the reverse-SDE state and the backend-RNG noise
+        draws — is a fixed per-analysis budget independent of state
+        dimension and member count.
+        """
+        forecast_ensemble = np.asarray(as_host_array(forecast_ensemble), dtype=float)
         if forecast_ensemble.ndim != 2:
             raise ValueError("forecast ensemble must have shape (m, state_dim)")
         observation = np.asarray(observation, dtype=float)

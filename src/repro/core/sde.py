@@ -17,10 +17,20 @@ the noise buffer with ``Generator.standard_normal(out=...)``, which
 consumes the random stream identically to the allocating call).  (The
 original allocating step loop served as the numerical oracle through
 several releases of equivalence testing and has been retired.)
+
+Noise goes through the backend RNG hook
+(:meth:`~repro.utils.xp.ArrayBackend.standard_normal`): in the default
+**host-parity** mode the bits come from the host ``rng`` stream in the
+documented order and are staged into the device buffer — bit-identical and
+worker-invariant across backends; ``REPRO_DEVICE_RNG=device`` lets device
+backends fill the buffers natively on-device instead (faster, not
+bit-identical — see :func:`repro.utils.xp.device_rng_mode`).  The state
+itself is device-resident for the whole integration.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 import numpy as np
@@ -53,11 +63,12 @@ class ReverseSDESampler:
         Array backend (name, :class:`~repro.utils.xp.ArrayBackend`, or
         ``None`` for the ``REPRO_ARRAY_BACKEND`` default) used by the
         buffered loop.  The state lives on the backend's device for the
-        whole integration (one host→device move after the initial draw,
-        one device→host move at the end); Gaussian increments always come
-        from the host ``rng`` stream (see
-        :meth:`ArrayBackend.standard_normal`), so trajectories are
-        backend-reproducible.
+        whole integration (the initial draw lands in a device buffer, one
+        device→host move at the end); Gaussian increments go through the
+        backend RNG hook — host ``rng`` stream bits by default
+        (host-parity, backend-reproducible), backend-native generation
+        under ``REPRO_DEVICE_RNG=device`` (see
+        :meth:`ArrayBackend.standard_normal`).
     """
 
     def __init__(
@@ -112,19 +123,23 @@ class ReverseSDESampler:
             snapshots) is returned instead of only the final state.
         """
         rng = default_rng(rng)
+        xp = self.xp
         if initial is None:
-            z = rng.standard_normal((n_samples, dim))
+            # Initial Z_T lands directly in a device buffer via the backend
+            # RNG hook (host-parity bits by default; native device draws
+            # under REPRO_DEVICE_RNG=device).
+            z = xp.standard_normal(rng, size=(n_samples, dim))
         else:
-            z = np.array(initial, dtype=float, copy=True)
-            if z.shape != (n_samples, dim):
-                raise ValueError(f"initial shape {z.shape} != {(n_samples, dim)}")
+            host = np.array(initial, dtype=float, copy=True)
+            if host.shape != (n_samples, dim):
+                raise ValueError(f"initial shape {host.shape} != {(n_samples, dim)}")
+            z = xp.to_device(host)
 
         grid = self.schedule.time_grid(self.n_steps, t_end=self.t_end, t_start=self.t_start)
-        trajectory = [z.copy()] if return_trajectory else None
+        trajectory = [xp.to_host(z).copy()] if return_trajectory else None
 
-        z = self.xp.to_device(z)
         self._integrate_buffered(score_fn, z, grid, rng, trajectory)
-        z = self.xp.to_host(z)
+        z = xp.to_host(z)
 
         if return_trajectory:
             return np.array(trajectory)
@@ -161,7 +176,9 @@ class ReverseSDESampler:
                 z *= 1.0 - float(b[i]) * dti
                 z += drift
                 xp.standard_normal(rng, out=noise)
-                noise *= np.sqrt(diffusion_dt)
+                # math.sqrt on the python float is bit-identical to np.sqrt
+                # and keeps the device loop free of host-array numpy calls.
+                noise *= math.sqrt(diffusion_dt)
                 z += noise
             else:
                 xp.multiply(score, 0.5 * diffusion_dt, out=drift)

@@ -66,7 +66,7 @@ from repro.da.localization import (
     geometry_cache_key,
 )
 from repro.utils.grid import Grid2D
-from repro.utils.xp import ArrayBackend, resolve_backend
+from repro.utils.xp import ArrayBackend, as_host_array, resolve_backend
 
 __all__ = ["LETKFConfig", "LETKF", "solve_local_batch"]
 
@@ -322,8 +322,10 @@ class LETKF(EnsembleFilter):
         return geometry
 
     # ------------------------------------------------------------------ #
-    def _validate(self, forecast_ensemble: np.ndarray) -> np.ndarray:
-        forecast_ensemble = np.asarray(forecast_ensemble, dtype=float)
+    def _validate(self, forecast_ensemble) -> np.ndarray:
+        # Accepts a host array or a StateHandle (the cycle engine's
+        # device-state seam); LETKF staging starts from the host mirror.
+        forecast_ensemble = np.asarray(as_host_array(forecast_ensemble), dtype=float)
         if forecast_ensemble.ndim != 2:
             raise ValueError("forecast ensemble must have shape (m, state_dim)")
         n_members, state_dim = forecast_ensemble.shape

@@ -12,6 +12,10 @@ call — this is the main vectorisation lever for ensemble forecasting.
 Transforms are routed through the pluggable backend shim
 (:mod:`repro.utils.fft`): :mod:`scipy.fft` with multi-worker support when
 available, :mod:`numpy.fft` otherwise.  Both produce bit-identical results.
+When the grid's array backend is a device backend, the FFT backend defaults
+to its device-paired counterpart (``mock-device`` → metered numpy FFT,
+``cuda`` → ``cupy.fft``) so spectral state stays device-resident through
+every transform; an explicit FFT selection still wins.
 
 Fused-kernel support
 --------------------
@@ -35,7 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.fft import FFTBackend, resolve_backend
+from repro.utils.fft import FFTBackend, default_backend_name_for, resolve_backend
 from repro.utils.xp import ArrayBackend
 from repro.utils.xp import resolve_backend as resolve_array_backend
 
@@ -62,9 +66,11 @@ class SpectralGrid:
     dealias:
         Apply the 2/3 rule when truncating spectra of nonlinear products.
     backend:
-        FFT backend name (``"numpy"``/``"scipy"``), an
-        :class:`~repro.utils.fft.FFTBackend`, or ``None`` for the
-        process-wide default (``REPRO_FFT_BACKEND`` / auto-detection).
+        FFT backend name (``"numpy"``/``"scipy"``/``"mock-device"``/
+        ``"cupy"``), an :class:`~repro.utils.fft.FFTBackend`, or ``None``
+        for the process-wide default (``REPRO_FFT_BACKEND`` / auto-detection,
+        paired to the array backend's device when that is a device backend —
+        see :func:`repro.utils.fft.default_backend_name_for`).
     array_backend:
         Array backend (:mod:`repro.utils.xp`) for the non-FFT spectral
         arithmetic; ``None`` uses the ``REPRO_ARRAY_BACKEND`` default.  The
@@ -90,8 +96,13 @@ class SpectralGrid:
         self.lx = float(lx)
         self.ly = float(ly)
         self.dealias = bool(dealias)
-        self.fft = resolve_backend(backend)
         self.xp = resolve_array_backend(array_backend)
+        if backend is None:
+            # Pair the FFT to the array backend's device so device-resident
+            # spectral state transforms without host round-trips (explicit
+            # env/override selection wins inside default_backend_name_for).
+            backend = default_backend_name_for(self.xp.device)
+        self.fft = resolve_backend(backend)
 
         # rfft2 layout: full frequencies along y (axis -2), half along x (axis -1).
         kx = 2.0 * np.pi / self.lx * np.arange(0, self.nx // 2 + 1)
@@ -181,14 +192,19 @@ class SpectralGrid:
     # transforms (batched over leading axes)
     # ------------------------------------------------------------------ #
     def to_spectral(self, field: np.ndarray) -> np.ndarray:
-        """Forward transform of the trailing ``(ny, nx)`` axes."""
-        field = np.asarray(field)
+        """Forward transform of the trailing ``(ny, nx)`` axes.
+
+        Accepts host or backend-device arrays; ``xp.asarray`` keeps
+        device-resident inputs on the device (the paired FFT backend
+        transforms them in place there).
+        """
+        field = self.xp.asarray(field)
         self._check_physical(field)
         return self.fft.rfft2(field, axes=(-2, -1))
 
     def to_physical(self, spec: np.ndarray) -> np.ndarray:
         """Inverse transform returning a real field on the trailing axes."""
-        spec = np.asarray(spec)
+        spec = self.xp.asarray(spec)
         self._check_spectral(spec)
         return self.fft.irfft2(spec, s=(self.ny, self.nx), axes=(-2, -1))
 
@@ -200,7 +216,7 @@ class SpectralGrid:
         never materialised.  Bit-identical to
         ``to_physical(full_masked_spectrum)``.
         """
-        spec_retained = np.asarray(spec_retained)
+        spec_retained = self.xp.asarray(spec_retained)
         if spec_retained.shape[-2:] != (self.ny, self._kx_keep):
             raise ValueError(
                 f"retained spectrum trailing shape {spec_retained.shape[-2:]} "
@@ -216,14 +232,14 @@ class SpectralGrid:
         ``dealias_mask[:, :kx_keep]`` to complete the 2/3 truncation.
         Bit-identical to ``to_spectral(field)[..., :kx_keep]``.
         """
-        field = np.asarray(field)
+        field = self.xp.asarray(field)
         self._check_physical(field)
         r = self.fft.rfft(field, axis=-1)
         return self.fft.fft(r[..., : self._kx_keep], axis=-2)
 
     def truncate(self, spec: np.ndarray) -> np.ndarray:
         """Apply the 2/3 dealiasing mask to a spectral array."""
-        self._check_spectral(np.asarray(spec))
+        self._check_spectral(self.xp.asarray(spec))
         return self.xp.multiply(spec, self.dealias_mask)
 
     # ------------------------------------------------------------------ #

@@ -166,8 +166,12 @@ class SQGModel:
         Array backend (:mod:`repro.utils.xp`) for the fused kernel's
         workspace arithmetic; ``None`` uses the ``REPRO_ARRAY_BACKEND``
         default.  The numpy backend is bit-identical to the pre-shim
-        kernel.  (A non-CPU array backend additionally needs a
-        device-aware FFT backend — the remaining GPU work item.)
+        kernel.  Device array backends pair with their device-native FFT
+        backend automatically (see :mod:`repro.utils.fft`), and whole
+        trajectories stay device-resident: :meth:`step`, :meth:`run` and
+        :meth:`forecast` pay one upload and one download total, while
+        :meth:`forecast_device` / :meth:`step_spectral_device` never touch
+        the host at all.
     """
 
     def __init__(
@@ -404,14 +408,28 @@ class SQGModel:
         return out
 
     def step_spectral(self, theta_spec: np.ndarray) -> np.ndarray:
-        """Advance spectral θ̂ by one RK4 step plus implicit hyperdiffusion."""
+        """Advance spectral θ̂ by one RK4 step plus implicit hyperdiffusion.
+
+        Host-in/host-out public contract: exactly one upload and one
+        download per call.  Trajectory loops (:meth:`step`,
+        :meth:`forecast_device`, :meth:`run`) call
+        :meth:`step_spectral_device` instead and keep the state resident
+        across all steps.
+        """
         xp = self.xp
-        # Host↔device boundary is per step (identity on the CPU backends):
-        # the public contract is host-in/host-out.  A device backend would
-        # rather keep the state resident across the step()/run() loops —
-        # that refactor is the ROADMAP's remaining GPU item, gated on a
-        # device-aware FFT backend.
-        theta_spec = xp.to_device(np.asarray(theta_spec))
+        return xp.to_host(self.step_spectral_device(xp.to_device(np.asarray(theta_spec))))
+
+    def step_spectral_device(self, theta_spec) -> np.ndarray:
+        """RK4 + hyperdiffusion on a **device-resident** spectral state.
+
+        ``theta_spec`` must already live on the model's array backend; the
+        returned state stays there.  No host↔device transfers happen here —
+        the RK4 stages, the fused tendency and the persistent workspaces all
+        operate on device buffers (the mock-device transfer counters assert
+        this).  Bit-identical to the pre-refactor in-step path: the transfer
+        hooks were identities on the CPU backends.
+        """
+        xp = self.xp
         ws = self._workspace(theta_spec.shape[:-3])
         dt = self.params.dt
         k1, k2, k3, k4 = ws.k
@@ -435,17 +453,22 @@ class SQGModel:
         xp.multiply(ws.acc, dt / 6.0, out=ws.acc)
         new = xp.add(theta_spec, ws.acc)
         xp.multiply(new, self._hyperdiff_dev, out=new)
-        return xp.to_host(new)
+        return new
 
     def step(self, theta: np.ndarray, n_steps: int = 1) -> np.ndarray:
-        """Advance physical states ``(..., 2, ny, nx)`` by ``n_steps`` steps."""
+        """Advance physical states ``(..., 2, ny, nx)`` by ``n_steps`` steps.
+
+        The whole trajectory is device-resident: one upload before the first
+        step, one download after the last, regardless of ``n_steps``.
+        """
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
         theta = np.asarray(theta, dtype=float)
-        spec = self.spectral.to_spectral(theta)
+        xp = self.xp
+        spec = self.spectral.to_spectral(xp.to_device(theta))
         for _ in range(n_steps):
-            spec = self.step_spectral(spec)
-        return self.spectral.to_physical(spec)
+            spec = self.step_spectral_device(spec)
+        return xp.to_host(self.spectral.to_physical(spec))
 
     def forecast(self, state: np.ndarray, n_steps: int = 1) -> np.ndarray:
         """ForecastModel protocol entry point on flattened states."""
@@ -456,6 +479,27 @@ class SQGModel:
         theta = self.unflatten(state)
         theta = self.step(theta, n_steps=n_steps)
         out = self.flatten(theta)
+        return out[0] if squeeze else out
+
+    def forecast_device(self, state, n_steps: int = 1):
+        """Device-resident forecast on flattened states.
+
+        The counterpart of :meth:`forecast` for callers that already hold
+        the ensemble on the model's array backend (the cycle engine's
+        :class:`~repro.utils.xp.StateHandle` path): flattened device states
+        in, flattened device states out, **zero** host↔device transfers —
+        the caller owns the boundary.  Identical arithmetic to
+        :meth:`forecast`.
+        """
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        squeeze = state.ndim == 1
+        if squeeze:
+            state = state[None, :]
+        spec = self.spectral.to_spectral(self.unflatten(state))
+        for _ in range(n_steps):
+            spec = self.step_spectral_device(spec)
+        out = self.flatten(self.spectral.to_physical(spec))
         return out[0] if squeeze else out
 
     # ------------------------------------------------------------------ #
@@ -476,12 +520,16 @@ class SQGModel:
         theta = np.asarray(theta0, dtype=float)
         if save_every is None:
             return self.step(theta, n_steps=n_steps)
+        xp = self.xp
         snapshots = [theta.copy()]
-        spec = self.spectral.to_spectral(theta)
+        # One upload for the whole trajectory; each saved snapshot is one
+        # download (a diagnostic — the integration state never leaves the
+        # device).
+        spec = self.spectral.to_spectral(xp.to_device(theta))
         for istep in range(1, n_steps + 1):
-            spec = self.step_spectral(spec)
+            spec = self.step_spectral_device(spec)
             if istep % save_every == 0:
-                snapshots.append(self.spectral.to_physical(spec))
+                snapshots.append(xp.to_host(self.spectral.to_physical(spec)))
         return np.array(snapshots)
 
 

@@ -18,14 +18,18 @@ from repro.utils.fft import (
     FFTBackend,
     available_backends,
     default_backend_name,
+    default_backend_name_for,
     resolve_backend,
     set_default_backend,
 )
 from repro.utils.xp import (
     ArrayBackend,
     MockDeviceBackend,
+    StateHandle,
+    as_host_array,
     available_array_backends,
     default_array_backend_name,
+    device_rng_mode,
     register_array_backend,
     resolve_array_backend,
     set_default_array_backend,
@@ -57,12 +61,16 @@ __all__ = [
     "FFTBackend",
     "available_backends",
     "default_backend_name",
+    "default_backend_name_for",
     "resolve_backend",
     "set_default_backend",
     "ArrayBackend",
     "MockDeviceBackend",
+    "StateHandle",
+    "as_host_array",
     "available_array_backends",
     "default_array_backend_name",
+    "device_rng_mode",
     "register_array_backend",
     "resolve_array_backend",
     "set_default_array_backend",

@@ -2,7 +2,7 @@
 
 The spectral machinery (:mod:`repro.models.spectral`) routes every transform
 through a small backend object so the FFT implementation can be swapped
-without touching the numerics.  Two backends are provided:
+without touching the numerics.  Four backends are registered:
 
 * ``"scipy"`` — :mod:`scipy.fft` (pypocketfft).  Supports the ``workers``
   argument, so batched ensemble transforms parallelise across cores.
@@ -11,13 +11,29 @@ without touching the numerics.  Two backends are provided:
 * ``"numpy"`` — :mod:`numpy.fft` (pocketfft).  Always available; the
   fallback on numpy-only installs and the faster choice on single-core
   hosts.
+* ``"mock-device"`` — :mod:`numpy.fft` again, but declared device-native for
+  the ``mock-device`` array backend (:mod:`repro.utils.xp`): transforms on
+  mock "device" arrays count as on-device work, so the transfer counters
+  meter only genuine host↔device boundary crossings.  Bit-identical to
+  ``"numpy"`` by construction.
+* ``"cupy"`` — :mod:`cupy.fft` (pocketfft-compatible), imported lazily, for
+  real device-resident transforms when CuPy and a GPU are present.
 
-Both are pocketfft implementations and produce **bit-identical** results
+The three host/pocketfft backends produce **bit-identical** results
 (asserted by the backend-parity regression tests), so swapping backends does
 not change forecast trajectories — the shim is a performance knob, not a
-numerics knob.  This is also the first concrete step toward the ROADMAP's
-GPU/array-API backend item: an accelerator backend only needs to provide the
-six functions of :class:`FFTBackend`.
+numerics knob.  ``cupy.fft`` follows the same algorithm family but runs on
+device memory; its parity is certified on GPU hosts only.
+
+Device pairing
+--------------
+:func:`default_backend_name_for` maps an array backend's ``device`` tag to
+the FFT backend whose transforms operate natively on that device
+(``"mock-device"`` → ``"mock-device"``, ``"cuda"`` → ``"cupy"``), so a
+:class:`~repro.models.spectral.SpectralGrid` built on a device array backend
+keeps spectral state device-resident through every transform.  Explicit
+selection (argument, ``REPRO_FFT_BACKEND``, :func:`set_default_backend`)
+still wins over the pairing.
 
 Selection
 ---------
@@ -47,6 +63,7 @@ __all__ = [
     "FFTBackend",
     "available_backends",
     "default_backend_name",
+    "default_backend_name_for",
     "resolve_backend",
     "set_default_backend",
 ]
@@ -135,18 +152,68 @@ def _scipy_backend() -> FFTBackend:
     )
 
 
-_FACTORIES = {"numpy": _numpy_backend, "scipy": _scipy_backend}
+def _mock_device_backend() -> FFTBackend:
+    # numpy's pocketfft, re-registered under the mock device's name: the mock
+    # array backend hands out plain ndarrays, so "on-device" transforms are
+    # host transforms — but declaring them device-native means the transfer
+    # counters only meter the explicit to_device/to_host boundary, exactly
+    # like a real accelerator FFT would behave.  Bit-identical to "numpy".
+    f = np.fft
+    return FFTBackend(
+        name="mock-device",
+        rfft2=f.rfft2,
+        irfft2=f.irfft2,
+        rfft=f.rfft,
+        irfft=f.irfft,
+        fft=f.fft,
+        ifft=f.ifft,
+        workers=1,
+    )
+
+
+def _cupy_backend() -> FFTBackend:
+    import cupy.fft as cfft  # deferred: CPU-only installs never reach this
+
+    return FFTBackend(
+        name="cupy",
+        rfft2=cfft.rfft2,
+        irfft2=cfft.irfft2,
+        rfft=cfft.rfft,
+        irfft=cfft.irfft,
+        fft=cfft.fft,
+        ifft=cfft.ifft,
+        workers=1,
+    )
+
+
+_FACTORIES = {
+    "numpy": _numpy_backend,
+    "scipy": _scipy_backend,
+    "mock-device": _mock_device_backend,
+    "cupy": _cupy_backend,
+}
+
+# Array-backend device tag -> FFT backend operating natively on that device.
+# Consulted by default_backend_name_for() below explicit selection.
+_DEVICE_PAIRING = {"mock-device": "mock-device", "cuda": "cupy"}
+
 _cache: dict[str, FFTBackend] = {}
 _default_override: str | None = None
 
 
 def available_backends() -> tuple[str, ...]:
     """Backend names that can be constructed in this environment."""
-    names = ["numpy"]
+    names = ["numpy", "mock-device"]
     try:
         import scipy.fft  # noqa: F401  (availability probe only)
 
         names.append("scipy")
+    except ImportError:
+        pass
+    try:
+        import cupy.fft  # noqa: F401  (availability probe only)
+
+        names.append("cupy")
     except ImportError:
         pass
     return tuple(names)
@@ -176,6 +243,28 @@ def default_backend_name() -> str:
         return env
     if _default_override is not None:
         return _default_override
+    return _auto_backend_name()
+
+
+def default_backend_name_for(device: str) -> str:
+    """Default FFT backend for spectral state living on ``device``.
+
+    ``device`` is an array backend's device tag
+    (:attr:`repro.utils.xp.ArrayBackend.device` — ``"cpu"``,
+    ``"mock-device"`` or ``"cuda"``).  Same precedence as
+    :func:`default_backend_name`, with the device pairing slotting in just
+    above host auto-detection: an explicit ``REPRO_FFT_BACKEND`` beats
+    :func:`set_default_backend`, which beats the pairing, which beats auto.
+    Host devices (or unknown tags) fall through to the host default.
+    """
+    env = os.environ.get(_ENV_BACKEND, "auto").strip().lower() or "auto"
+    if env != "auto":
+        return env
+    if _default_override is not None:
+        return _default_override
+    paired = _DEVICE_PAIRING.get(device)
+    if paired is not None:
+        return paired
     return _auto_backend_name()
 
 

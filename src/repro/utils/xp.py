@@ -40,13 +40,33 @@ FFT shim.  Backends pickle by name (:meth:`ArrayBackend.__reduce__`), so
 configs and kernels that hold one ship cleanly to
 :class:`~repro.hpc.ensemble_parallel.EnsembleExecutor` worker processes.
 
-Stream semantics
-----------------
-``standard_normal(rng, size)`` / ``standard_normal(rng, out=buf)`` always
-consumes the **host** generator exactly as ``rng.standard_normal`` would —
-device backends draw on the host and copy.  This is what keeps parallel
-analyses worker-invariant (see :class:`repro.utils.random.MemberStreams`)
-regardless of where the arithmetic runs.
+Stream semantics and the device RNG hook
+----------------------------------------
+``standard_normal(rng, size)`` / ``standard_normal(rng, out=buf)`` defaults
+to **host-parity** mode: the bits always come from the host generator
+exactly as ``rng.standard_normal`` would produce them — device backends
+draw on the host and copy.  This is what keeps parallel analyses
+worker-invariant (see :class:`repro.utils.random.MemberStreams`) regardless
+of where the arithmetic runs, and it is the mode every bit-parity
+certification runs in.
+
+``REPRO_DEVICE_RNG=device`` switches device backends to backend-native
+generation: the CuPy backend seeds a per-``rng`` device generator (one host
+draw) and then fills buffers on-device without any host staging, trading
+bit-parity with the CPU backends for bandwidth.  The mock device draws the
+same host bits in both modes (it has no second generator), but stops
+metering the draw as a host→device upload — so the transfer counters show
+exactly the residency win a real device-RNG run gets.  Host backends ignore
+the setting.  ``device_rng_mode()`` reports the active mode.
+
+State handles
+-------------
+:class:`StateHandle` is the explicit device-state handle the cycle engine
+threads through the forecast→analysis seam: an immutable pair of lazily
+materialised host/device mirrors of one ensemble state, so each cycle pays
+at most one upload and one download no matter how many stages look at the
+state.  :func:`as_host_array` unwraps handles (or passes arrays through)
+at host-side consumers.
 """
 
 from __future__ import annotations
@@ -59,6 +79,9 @@ import numpy as np
 __all__ = [
     "ArrayBackend",
     "MockDeviceBackend",
+    "StateHandle",
+    "as_host_array",
+    "device_rng_mode",
     "available_backends",
     "available_array_backends",
     "default_backend_name",
@@ -72,6 +95,25 @@ __all__ = [
 ]
 
 _ENV_BACKEND = "REPRO_ARRAY_BACKEND"
+_ENV_DEVICE_RNG = "REPRO_DEVICE_RNG"
+_RNG_MODES = ("host-parity", "device")
+
+
+def device_rng_mode() -> str:
+    """Active noise-generation mode for device backends.
+
+    ``"host-parity"`` (default): Gaussian bits come from the host generator
+    in the documented stream order and are staged to the device — bit-parity
+    with the CPU backends is preserved.  ``"device"``: device backends
+    generate natively on-device (the mock device keeps the host bits but
+    stops metering the draws as uploads).  Set via ``REPRO_DEVICE_RNG``.
+    """
+    mode = os.environ.get(_ENV_DEVICE_RNG, "host-parity").strip().lower() or "host-parity"
+    if mode not in _RNG_MODES:
+        raise ValueError(
+            f"invalid ${_ENV_DEVICE_RNG}={mode!r}; choose from {_RNG_MODES}"
+        )
+    return mode
 
 
 class ArrayBackend:
@@ -225,6 +267,19 @@ class MockDeviceBackend(ArrayBackend):
         self.d2h_bytes += int(getattr(array, "nbytes", 0))
         return array
 
+    def standard_normal(self, rng, size=None, out=None) -> np.ndarray:
+        # Both modes draw the same host bits (the mock has no second
+        # generator, so bit-parity holds unconditionally); what changes is
+        # the accounting.  Host-parity models a real device staging every
+        # draw through the host (one upload per call), device mode models
+        # on-device generation (no transfer) — so the counters expose
+        # exactly the residency difference a real device-RNG run gets.
+        drawn = super().standard_normal(rng, size=size, out=out)
+        if device_rng_mode() == "host-parity":
+            self.h2d_calls += 1
+            self.h2d_bytes += int(getattr(drawn, "nbytes", 0))
+        return drawn
+
 
 class _CuPyBackend(ArrayBackend):
     """CuPy adapter (requires a CUDA device; imported lazily)."""
@@ -236,6 +291,11 @@ class _CuPyBackend(ArrayBackend):
         import cupy as cp  # deferred: CPU-only installs never reach this
 
         self._cp = cp
+        # Device generators for REPRO_DEVICE_RNG=device, one per host rng
+        # (weakly keyed so they die with their host stream).
+        import weakref
+
+        self._device_rngs = weakref.WeakKeyDictionary()
         for op in (
             "asarray",
             "ascontiguousarray",
@@ -289,7 +349,25 @@ class _CuPyBackend(ArrayBackend):
         self._cp.cuda.get_current_stream().synchronize()
 
     def standard_normal(self, rng, size=None, out=None):
-        # Host draw first (documented stream semantics), then device copy.
+        if device_rng_mode() == "device":
+            # Backend-native generation: one host draw seeds a per-rng
+            # device generator, then every buffer fills on-device.  Faster
+            # (no host staging) but NOT bit-identical to the CPU backends —
+            # use the default host-parity mode for certified runs.
+            dev_rng = self._device_rngs.get(rng)
+            if dev_rng is None:
+                # MemberStreams has no .integers — seed from its first
+                # member stream (device mode surrenders per-member stream
+                # semantics along with bit-parity; both are documented).
+                seed_src = rng if hasattr(rng, "integers") else rng.generators[0]
+                dev_rng = self._cp.random.default_rng(int(seed_src.integers(2**63)))
+                self._device_rngs[rng] = dev_rng
+            if out is not None:
+                out[...] = dev_rng.standard_normal(out.shape, dtype=out.dtype)
+                return out
+            return dev_rng.standard_normal(size)
+        # Host-parity (default): host draw first (documented stream
+        # semantics), then device copy.
         if out is not None:
             host = rng.standard_normal(out.shape)
             out[...] = self._cp.asarray(host)
@@ -390,6 +468,108 @@ def resolve_backend(backend: str | ArrayBackend | None = None) -> ArrayBackend:
                 f"but its module is not installed; available: {available_backends()}"
             ) from exc
     return _cache[name]
+
+
+class StateHandle:
+    """Explicit device-state handle for the forecast→analysis seam.
+
+    A handle pairs one logical ensemble state with up to two lazily
+    materialised mirrors — a host :class:`numpy.ndarray` and a backend-native
+    device array — and caches both, so a cycle pays **at most one upload and
+    one download** regardless of how many stages touch the state:
+
+    * the forecast advances the device mirror (``device()``; cached, so a
+      state that never left the device re-uploads nothing),
+    * every host-side consumer — diagnostics, QC, checkpoints, the analysis
+      input — shares the single cached ``host()`` download.
+
+    Handles are immutable by contract: stages must not write through either
+    mirror (they produce *new* states / handles instead).  On the CPU
+    backends both mirrors are the same object, which is exactly why mutation
+    is forbidden — an in-place write would silently fork the mirrors on a
+    real device.
+
+    ``np.asarray(handle)`` works (via ``__array__``, using the cached host
+    mirror) so host-only code degrades gracefully, but hot paths should call
+    :func:`as_host_array` explicitly.
+    """
+
+    __slots__ = ("xp", "_device", "_host")
+
+    def __init__(self, xp: ArrayBackend, host=None, device=None):
+        if host is None and device is None:
+            raise ValueError("StateHandle needs a host and/or a device mirror")
+        self.xp = xp
+        self._host = host
+        self._device = device
+
+    # -- constructors -------------------------------------------------- #
+    @classmethod
+    def from_host(cls, xp: ArrayBackend, state) -> "StateHandle":
+        """Wrap a host array; the device mirror materialises on first use."""
+        return cls(xp, host=np.asarray(state))
+
+    @classmethod
+    def from_device(cls, xp: ArrayBackend, state) -> "StateHandle":
+        """Wrap a device-resident array; the host mirror materialises lazily."""
+        return cls(xp, device=state)
+
+    @classmethod
+    def wrap(cls, state, xp: str | ArrayBackend | None = None) -> "StateHandle":
+        """Coerce ``state`` to a handle (pass-through if it already is one).
+
+        ``xp=None`` wraps on the host numpy backend — the safe default for
+        models that predate the backend shim.
+        """
+        if isinstance(state, StateHandle):
+            return state
+        return cls.from_host(resolve_backend("numpy" if xp is None else xp), state)
+
+    # -- mirrors ------------------------------------------------------- #
+    def device(self):
+        """The device mirror (uploads once on first call, then cached)."""
+        if self._device is None:
+            self._device = self.xp.to_device(self._host)
+        return self._device
+
+    def host(self) -> np.ndarray:
+        """The host mirror (downloads once on first call, then cached)."""
+        if self._host is None:
+            self._host = self.xp.to_host(self._device)
+        return self._host
+
+    # -- conveniences -------------------------------------------------- #
+    @property
+    def shape(self):
+        mirror = self._host if self._host is not None else self._device
+        return mirror.shape
+
+    @property
+    def ndim(self) -> int:
+        mirror = self._host if self._host is not None else self._device
+        return mirror.ndim
+
+    def __array__(self, dtype=None, copy=None):
+        host = np.asarray(self.host())
+        if dtype is not None:
+            host = host.astype(dtype, copy=False)
+        if copy:
+            host = host.copy()
+        return host
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        mirrors = "".join(
+            tag for tag, mirror in (("H", self._host), ("D", self._device))
+            if mirror is not None
+        )
+        return f"<StateHandle {self.xp.name!r} shape={self.shape} mirrors={mirrors!r}>"
+
+
+def as_host_array(state) -> np.ndarray:
+    """Host ndarray view of ``state`` (a :class:`StateHandle` or array-like)."""
+    if isinstance(state, StateHandle):
+        return state.host()
+    return np.asarray(state)
 
 
 # Aliased re-exports: the short names mirror repro.utils.fft's API (the two

@@ -56,6 +56,7 @@ from repro.models.base import propagate_ensemble
 from repro.utils.faults import FaultLog, FaultPlan
 from repro.utils.random import SeedSequenceFactory
 from repro.utils.timing import BenchRecorder
+from repro.utils.xp import StateHandle, as_host_array
 
 __all__ = [
     "rmse",
@@ -127,13 +128,20 @@ class CycleRecord:
 
 @dataclass
 class CycleContext:
-    """Mutable per-cycle state handed through the stage pipeline."""
+    """Mutable per-cycle state handed through the stage pipeline.
+
+    ``state`` is the ensemble: a host array after an analysis, or a
+    :class:`~repro.utils.xp.StateHandle` after a device-resident ensemble
+    forecast (host consumers unwrap via
+    :func:`~repro.utils.xp.as_host_array`, sharing the handle's single
+    cached download).  ``truth`` and the diagnostics are always host arrays.
+    """
 
     cycle: int
     recorder: BenchRecorder
     executor: object | None
     truth: np.ndarray
-    state: np.ndarray
+    state: object
     events: list[ObservationEvent] = field(default_factory=list)
     forecast_mean: np.ndarray | None = None
     analysis_stats: EnsembleStatistics | None = None
@@ -407,21 +415,39 @@ class ObservationStage:
 
 
 class EnsembleForecastStage:
-    """Member-parallel ensemble forecast to the next analysis time."""
+    """Member-parallel ensemble forecast to the next analysis time.
+
+    The stage owns the device-state seam: the incoming ensemble (a host
+    array after an analysis, or a still-resident handle on unobserved
+    cycles) is wrapped in a :class:`~repro.utils.xp.StateHandle` on the
+    model's array backend, advanced device-side when the model supports it
+    (``forecast_device``), and handed downstream as a handle whose single
+    cached host mirror — materialised here for the forecast mean — serves
+    every host consumer (diagnostics, QC, analysis input, checkpoints)
+    without further downloads.
+    """
 
     def __init__(self, model, steps_per_cycle: int) -> None:
         self.model = model
         self.steps_per_cycle = int(steps_per_cycle)
 
+    @property
+    def xp(self):
+        """The model's array backend (``None`` for pre-shim models)."""
+        return getattr(self.model, "xp", None)
+
     def run(self, ctx: CycleContext) -> None:
         with ctx.recorder.section("forecast"):
+            state = StateHandle.wrap(ctx.state, self.xp)
             ctx.state = propagate_ensemble(
-                self.model, ctx.state, n_steps=self.steps_per_cycle, executor=ctx.executor
+                self.model, state, n_steps=self.steps_per_cycle, executor=ctx.executor
             )
-        ctx.forecast_mean = ctx.state.mean(axis=0)
+        # The one scheduled download of the cycle: the handle caches this
+        # host mirror, so everything downstream shares it.
+        ctx.forecast_mean = ctx.state.host().mean(axis=0)
 
-    def statistics(self, state: np.ndarray) -> EnsembleStatistics:
-        return ensemble_statistics(state)
+    def statistics(self, state) -> EnsembleStatistics:
+        return ensemble_statistics(as_host_array(state))
 
     def state_dict(self) -> dict:
         return {}
@@ -439,10 +465,13 @@ class DeterministicForecastStage:
 
     def run(self, ctx: CycleContext) -> None:
         with ctx.recorder.section("forecast"):
+            # The state *is* the diagnosed mean here, so it stays a host
+            # array (the model's own forecast pays one up/down per cycle).
             ctx.state = self.model.forecast(ctx.state, n_steps=self.steps_per_cycle)
         ctx.forecast_mean = ctx.state
 
-    def statistics(self, state: np.ndarray) -> EnsembleStatistics:
+    def statistics(self, state) -> EnsembleStatistics:
+        state = as_host_array(state)
         return EnsembleStatistics(mean=state, spread=np.zeros_like(state))
 
     def state_dict(self) -> dict:
@@ -465,8 +494,12 @@ class FilterAnalysisStage:
         self.filter = filter_
 
     def analyze(self, ctx: CycleContext, event: ObservationEvent) -> np.ndarray:
+        # Filters take the host mirror (cached by the forecast stage — no
+        # extra download); their internal kernels manage their own fixed
+        # per-analysis device staging.
         return self.filter.analyze_parallel(
-            ctx.state, event.observation, event.operator, executor=ctx.executor
+            as_host_array(ctx.state), event.observation, event.operator,
+            executor=ctx.executor,
         )
 
     def state_dict(self) -> dict:
@@ -495,16 +528,17 @@ class EnSFWorkflowAnalysisStage:
         self.stream_name = stream_name
 
     def analyze(self, ctx: CycleContext, event: ObservationEvent) -> np.ndarray:
+        forecast = as_host_array(ctx.state)
         if ctx.executor is None:
-            return self.ensf.analyze(ctx.state, event.observation, event.operator)
+            return self.ensf.analyze(forecast, event.observation, event.operator)
         analysis = ctx.executor.analyze_ensf(
             self.ensf,
-            ctx.state,
+            forecast,
             event.observation,
             event.operator,
             seed=self.seeds.seed_for(self.stream_name, ctx.cycle),
         )
-        return relax_spread(analysis, ctx.state, factor=self.ensf.config.spread_relaxation)
+        return relax_spread(analysis, forecast, factor=self.ensf.config.spread_relaxation)
 
     def state_dict(self) -> dict:
         return {"filter_rng": _rng_state(getattr(self.ensf, "rng", None))}
@@ -691,10 +725,14 @@ class CycleEngine:
         """Snapshot the run state for a bit-identical resume."""
         if self._truth is None or self._state is None:
             raise ValueError("nothing to checkpoint: run() has not started")
+        # Device-resident state converts to a plain host array here:
+        # checkpoints are backend-portable by construction, so resume="auto"
+        # works across REPRO_ARRAY_BACKEND changes (the load path rehydrates
+        # onto whatever backend the resuming engine is configured with).
         return EngineCheckpoint(
             next_cycle=self._next_cycle,
             truth=np.array(self._truth),
-            state=np.array(self._state),
+            state=np.array(as_host_array(self._state)),
             records=copy.deepcopy(self._records),
             history=None if self._history is None else [h.copy() for h in self._history],
             stage_state={name: stage.state_dict() for name, stage in self._stages().items()},
@@ -723,7 +761,12 @@ class CycleEngine:
         for name, stage in stages.items():
             stage.load_state_dict(ckpt.stage_state[name])
         self._truth = np.array(ckpt.truth)
-        self._state = np.array(ckpt.state)
+        # Checkpoint state is a host array; rehydrate it onto the engine's
+        # configured array backend so a resumed run is device-resident from
+        # its first forecast (identity for host-only forecast stages).
+        state = np.array(ckpt.state)
+        xp = getattr(self.forecast_stage, "xp", None)
+        self._state = state if xp is None else StateHandle.from_host(xp, state)
         self._next_cycle = int(ckpt.next_cycle)
         self._records = copy.deepcopy(ckpt.records)
         if self.store_history:
@@ -734,9 +777,9 @@ class CycleEngine:
             self._history = None
 
     # -- degraded modes ---------------------------------------------------- #
-    def _divergence_reason(self, stats: EnsembleStatistics, state: np.ndarray) -> str | None:
+    def _divergence_reason(self, stats: EnsembleStatistics, state) -> str | None:
         """Why the ensemble counts as diverged, or ``None`` when healthy."""
-        if not np.all(np.isfinite(state)):
+        if not np.all(np.isfinite(as_host_array(state))):
             return "non-finite ensemble state"
         limit = self.divergence.spread_max
         if limit is not None and stats.mean_spread > limit:
@@ -835,7 +878,7 @@ class CycleEngine:
             return EngineResult(
                 records=list(self._records),
                 truth_final=self._truth,
-                state_final=self._state,
+                state_final=as_host_array(self._state),
                 mean_final=stats_final.mean,
                 history=None if self._history is None else np.array(self._history),
                 timing=self.recorder.report(since=self.recorder.snapshot()),
@@ -955,7 +998,7 @@ class CycleEngine:
         return EngineResult(
             records=list(self._records),
             truth_final=self._truth,
-            state_final=self._state,
+            state_final=as_host_array(self._state),
             mean_final=stats_final.mean,
             history=None if self._history is None else np.array(self._history),
             timing=recorder.report(since=timing_snapshot),
@@ -976,10 +1019,13 @@ class CycleEngine:
         cycle = ctx.cycle
         if policy.action == "reinflate":
             target = policy.reinflate_to if policy.reinflate_to is not None else policy.spread_max
-            finite = bool(np.all(np.isfinite(ctx.state)))
+            state = as_host_array(ctx.state)
+            finite = bool(np.all(np.isfinite(state)))
             if finite and target is not None and stats.mean_spread > 0:
                 factor = float(target) / float(stats.mean_spread)
-                ctx.state = stats.mean + (ctx.state - stats.mean) * factor
+                # Host arithmetic on the cached mirror; the next forecast
+                # re-wraps (and re-uploads) the corrected ensemble.
+                ctx.state = stats.mean + (state - stats.mean) * factor
                 self.fault_log.record(
                     "observations",
                     "divergence-reinflate",
