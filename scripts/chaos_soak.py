@@ -12,6 +12,13 @@ Orchestrates three child processes over one shared campaign journal:
 3. **clean** — the identical sweep against a separate journal with no
    faults at all.
 
+Each child also serves the HTTP status frontend and publishes its port to
+a sidecar file next to the journal; the orchestrator polls ``GET /jobs``
+throughout the soak.  Connection errors are expected (the service spends
+time dead between its lives) but every response that does land must be
+**strict JSON** — a ``NaN``/``Infinity`` token anywhere in a status body
+fails the soak.
+
 The soak passes iff the killed-and-restarted campaign ends with every job
 ``done`` and RMSE histories **bit-identical** to the clean sweep — the
 service's whole durability contract in one assertion.
@@ -27,6 +34,9 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 N_JOBS = 6
@@ -42,7 +52,10 @@ def _child_run(journal: Path, expect_kill: bool) -> None:
     from repro.workflow import ExperimentService, ServiceConfig
 
     config = ServiceConfig(max_running=2, retry_backoff_s=0.05, poll_s=0.02)
+    journal.parent.mkdir(parents=True, exist_ok=True)
     with ExperimentService(journal, config=config) as svc:
+        server = svc.serve_status()
+        (journal.parent / "status.port").write_text(str(server.port))
         for i in range(N_JOBS):
             name = f"soak-{i:02d}"
             if name not in svc.status():
@@ -59,14 +72,48 @@ def _child_run(journal: Path, expect_kill: bool) -> None:
     print(json.dumps(payload))
 
 
-def _spawn(journal: Path, *, fault_plan: str | None) -> subprocess.CompletedProcess:
+def _reject_nonstrict(token):
+    raise SystemExit(f"status frontend emitted non-strict JSON token {token!r}")
+
+
+def _poll_status(port_file: Path, polls: list) -> None:
+    """One ``GET /jobs`` against the child's status frontend, if reachable.
+
+    Connection failures are part of the soak (the port file may be stale
+    from a killed life, or the service not up yet); a response that *does*
+    arrive must parse as strict JSON, with non-strict tokens fatal.
+    """
+    try:
+        port = int(port_file.read_text())
+    except (OSError, ValueError):
+        return
+    try:
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/jobs", timeout=2) as resp:
+            body = resp.read()
+    except (urllib.error.URLError, OSError):
+        return
+    payload = json.loads(body.decode("utf-8"), parse_constant=_reject_nonstrict)
+    polls.append(payload["counts"])
+
+
+def _spawn(
+    journal: Path, *, fault_plan: str | None, polls: list
+) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env.pop("REPRO_FAULT_PLAN", None)
     args = [sys.executable, os.path.abspath(__file__), "run", str(journal)]
     if fault_plan is not None:
         env["REPRO_FAULT_PLAN"] = fault_plan
         args.append("--expect-kill")
-    return subprocess.run(args, env=env, capture_output=True, text=True)
+    proc = subprocess.Popen(
+        args, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    port_file = journal.parent / "status.port"
+    while proc.poll() is None:
+        _poll_status(port_file, polls)
+        time.sleep(0.05)
+    stdout, stderr = proc.communicate()
+    return subprocess.CompletedProcess(args, proc.returncode, stdout, stderr)
 
 
 def main() -> None:
@@ -78,7 +125,8 @@ def main() -> None:
         chaos_journal = Path(tmp) / "chaos" / "journal.json"
         clean_journal = Path(tmp) / "clean" / "journal.json"
 
-        killed = _spawn(chaos_journal, fault_plan=KILL_SPEC)
+        polls: list = []
+        killed = _spawn(chaos_journal, fault_plan=KILL_SPEC, polls=polls)
         if killed.returncode != 137:
             sys.stderr.write(killed.stdout + killed.stderr)
             raise SystemExit(
@@ -87,13 +135,13 @@ def main() -> None:
             )
         print(f"campaign killed mid-flight (exit {killed.returncode}) -- restarting")
 
-        finished = _spawn(chaos_journal, fault_plan=None)
+        finished = _spawn(chaos_journal, fault_plan=None, polls=polls)
         if finished.returncode != 0:
             sys.stderr.write(finished.stdout + finished.stderr)
             raise SystemExit(f"restarted campaign failed (exit {finished.returncode})")
         chaos = json.loads(finished.stdout.strip().splitlines()[-1])
 
-        clean_run = _spawn(clean_journal, fault_plan=None)
+        clean_run = _spawn(clean_journal, fault_plan=None, polls=polls)
         if clean_run.returncode != 0:
             sys.stderr.write(clean_run.stdout + clean_run.stderr)
             raise SystemExit(f"clean sweep failed (exit {clean_run.returncode})")
@@ -107,9 +155,14 @@ def main() -> None:
             name for name in clean["rmse"] if chaos["rmse"].get(name) != clean["rmse"][name]
         )
         raise SystemExit(f"RMSE diverged from the clean sweep for: {diverged}")
+    if not polls:
+        raise SystemExit(
+            "status frontend was never successfully polled during the soak"
+        )
     print(
         f"chaos soak OK: {N_JOBS} jobs killed+restarted, all done, "
-        f"RMSE bit-identical to the clean sweep"
+        f"RMSE bit-identical to the clean sweep; {len(polls)} strict-JSON "
+        f"status polls landed across the kill/restart"
     )
 
 

@@ -31,6 +31,9 @@
 #      priority sweep hard-killed mid-campaign (service-kill injected via
 #      REPRO_FAULT_PLAN, exit 137), then restarted from the journal, must
 #      finish every job with RMSE bit-identical to an undisturbed sweep.
+#      The orchestrator polls the HTTP status frontend (GET /jobs)
+#      throughout the kill/restart; every response that lands must parse
+#      as strict JSON, and at least one poll must succeed.
 #   9. The tier-1 suite itself must pass; --durations=10 surfaces creeping
 #      slow tests.
 # Usage: scripts/smoke.sh [extra pytest args for step 9]
@@ -101,8 +104,9 @@ import json
 SPECS = {
     "BENCH_kernels.json": dict(
         required=["benchmark", "created_unix", "sections",
-                  "letkf", "letkf_sharded", "ensf", "ensf_cases"],
-        notes=[("letkf_sharded", "speedup_note")],
+                  "letkf", "letkf_sharded", "shard_payloads",
+                  "ensf", "ensf_cases"],
+        notes=[("letkf_sharded", "speedup_note"), ("shard_payloads", "note")],
     ),
     "BENCH_forecast.json": dict(
         required=["benchmark", "created_unix", "sections", "fft_backend",
@@ -257,7 +261,7 @@ with tempfile.TemporaryDirectory() as tmp:
 print("fault replay OK: all recoveries logged, RMSE deltas exactly zero")
 EOF
 
-echo "== smoke 8/9: experiment-service chaos soak (kill + restart + bit-identity) =="
+echo "== smoke 8/9: experiment-service chaos soak (kill + restart + bit-identity + status polling) =="
 python scripts/chaos_soak.py
 
 echo "== smoke 9/9: tier-1 suite with --durations=10 =="

@@ -407,6 +407,13 @@ class LETKF(EnsembleFilter):
         the worker count, so results are bit-identical for any executor
         layout; with ``executor=None`` the serial :meth:`analyze` runs
         instead.
+
+        Shard payloads ride the executor's transport: where shared memory
+        is available the large per-shard slices (and the ensemble arrays
+        broadcast to every shard) cross the process boundary as ~100-byte
+        segment handles rather than per-shard pickles (see
+        :mod:`repro.hpc.shm`), which is transparent here — workers copy
+        out on attach, so the analysis is bit-identical either way.
         """
         if executor is None:
             return self.analyze(forecast_ensemble, observation, operator)

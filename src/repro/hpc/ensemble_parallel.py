@@ -22,13 +22,15 @@ the columns into fixed-size shards that do not depend on the worker count.
 from __future__ import annotations
 
 import os
+import pickle
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from repro.hpc.shm import HAVE_SHM, SharedPayloadArena, count_handles, resolve_payloads
 from repro.utils.faults import FaultInjected, FaultLog, FaultPlan
 
 __all__ = ["ensemble_slices", "EnsembleExecutor", "ExecutorLease", "ShardRetryError"]
@@ -49,6 +51,12 @@ def _guarded_call(fn, job, fault, parent_pid: int):
     ``fault`` is consumed *before* the computation, so a retried shard (the
     plan only fires each event once) recomputes exactly ``fn(job)`` — which
     is what makes recovery bit-identical for deterministic shards.
+
+    Any :class:`~repro.hpc.shm.SharedArrayHandle` inside the work-unit is
+    materialized here (copied out of its shared segment into a private
+    array) before ``fn`` ever sees the job, so worker functions are
+    transport-agnostic: they receive exactly the arrays a pickled payload
+    would have delivered, whichever path shipped them.
     """
     if fault is not None:
         if fault.kind == "worker-crash":
@@ -57,7 +65,7 @@ def _guarded_call(fn, job, fault, parent_pid: int):
             raise FaultInjected("injected worker crash (serial in-process shard)")
         elif fault.kind == "task-hang":
             time.sleep(float(fault.payload.get("hang_s", 0.25)))
-    return fn(job)
+    return fn(resolve_payloads(job))
 
 
 def ensemble_slices(n_members: int, n_workers: int) -> list[slice]:
@@ -147,6 +155,19 @@ class EnsembleExecutor:
         plan defaults to ``FaultPlan.from_env()`` (the ``REPRO_FAULT_PLAN``
         variable, usually unset); every recovery the executor performs is
         appended to the log.
+    shm_payloads / shm_min_bytes:
+        Ship large read-only arrays inside work-units through
+        :mod:`multiprocessing.shared_memory` segments instead of pickling
+        them per shard (default on; arrays below ``shm_min_bytes`` — 256 KiB
+        — keep riding the pickle, where the pipe is already cheaper than a
+        segment round-trip).  Workers copy the bytes out before computing,
+        so results are bit-identical to pickle transport by construction;
+        serial in-process gathers never touch shared memory.
+    payload_stats:
+        When true, each gather records a transport breakdown (pickled bytes
+        per shipped work-unit vs. the raw equivalent, shared-segment bytes)
+        in :attr:`last_payload_stats` — benchmark instrumentation, off by
+        default because measuring the raw pickle costs the copy it avoids.
     """
 
     def __init__(
@@ -160,6 +181,9 @@ class EnsembleExecutor:
         fault_plan: FaultPlan | None = None,
         fault_log: FaultLog | None = None,
         backoff_seed: int | None = None,
+        shm_payloads: bool = True,
+        shm_min_bytes: int = 1 << 18,
+        payload_stats: bool = False,
     ):
         if n_workers is None:
             n_workers = min(8, os.cpu_count() or 1)
@@ -175,6 +199,10 @@ class EnsembleExecutor:
         self.task_deadline_s = None if task_deadline_s is None else float(task_deadline_s)
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self.shm_payloads = bool(shm_payloads) and HAVE_SHM
+        self.shm_min_bytes = int(shm_min_bytes)
+        self.payload_stats = bool(payload_stats)
+        self.last_payload_stats: dict | None = None
         # Dedicated, non-experiment rng for backoff jitter (see class doc).
         self._backoff_rng = np.random.default_rng(backoff_seed)
         self._backoff_lock = threading.Lock()
@@ -186,6 +214,12 @@ class EnsembleExecutor:
         self._pool_lock = threading.RLock()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
+        # Live per-gather shm arenas (released in each gather's finally; this
+        # set is the close()-time backstop) and open-lease bookkeeping the
+        # experiment service audits to prove jobs release their leases.
+        self._arena_lock = threading.Lock()
+        self._arenas: set[SharedPayloadArena] = set()
+        self._active_leases = 0
 
     # ------------------------------------------------------------------ #
     def _effective_workers(self, n_members: int) -> int:
@@ -213,7 +247,7 @@ class EnsembleExecutor:
             return ProcessPoolExecutor(max_workers=workers)
         with self._pool_lock:
             if self._pool is None or self._pool_workers < workers:
-                self.close()
+                self._close_pool()
                 self._pool = ProcessPoolExecutor(max_workers=workers)
                 self._pool_workers = workers
             return self._pool
@@ -248,41 +282,77 @@ class EnsembleExecutor:
                 error = exc
         return failed, error
 
-    def _attempt_pool(self, fn, jobs, results, pending, faults, workers, fault_log):
+    def _attempt_pool(
+        self, fn, jobs, results, pending, faults, workers, fault_log,
+        max_slots=None, on_success=None,
+    ):
+        """One pool attempt over ``pending``, holding ≤ ``max_slots`` in flight.
+
+        Submission is **windowed**: at most ``min(workers, max_slots)``
+        futures exist at any instant, and a new shard is only submitted when
+        one completes.  This is what makes a lease quota real — merely
+        capping the submit batch would still let queued futures spread over
+        every pool process — while leaving the job decomposition (and hence
+        the results) untouched.  ``task_deadline_s`` bounds the whole
+        attempt; if it expires with shards still running they are treated as
+        hung exactly as before.  ``on_success`` fires per completed shard
+        (the gather uses it to release that shard's shared-memory payloads
+        early).
+        """
         pool = self._acquire_pool(workers)
         parent_pid = os.getpid()
+        window = max(1, min(workers, max_slots if max_slots else workers))
         failed, error = [], None
         broken = hung = False
-        futures = {}
-        try:
-            for idx in pending:
-                futures[pool.submit(_guarded_call, fn, jobs[idx], faults.get(idx), parent_pid)] = idx
-        except (BrokenProcessPool, RuntimeError) as exc:
-            broken, error = True, exc
-        done, not_done = wait(set(futures), timeout=self.task_deadline_s)
-        for fut in done:
-            idx = futures[fut]
-            exc = fut.exception()
-            if exc is None:
-                results[idx] = fut.result()
-            elif isinstance(exc, _RETRYABLE):
-                failed.append(idx)
-                error = exc
-                broken = broken or isinstance(exc, BrokenProcessPool)
-            else:
-                # A genuine job-function error: not the executor's to heal.
-                if not self.reuse_pool:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                raise exc
-        if not_done:
-            hung = True
-            failed.extend(futures[fut] for fut in not_done)
-            error = TimeoutError(
-                f"{len(not_done)} shard(s) exceeded the {self.task_deadline_s}s task deadline"
-            )
-            fault_log.record("executor", "deadline-kill", str(error))
-        submitted = set(futures.values())
-        failed.extend(idx for idx in pending if idx not in submitted)
+        inflight: dict = {}
+        queue = list(pending)
+        deadline = (
+            None if self.task_deadline_s is None
+            else time.monotonic() + self.task_deadline_s
+        )
+        while queue or inflight:
+            while queue and not broken and len(inflight) < window:
+                try:
+                    fut = pool.submit(
+                        _guarded_call, fn, jobs[queue[0]], faults.get(queue[0]), parent_pid
+                    )
+                except (BrokenProcessPool, RuntimeError) as exc:
+                    broken, error = True, exc
+                    break
+                inflight[fut] = queue.pop(0)
+            if not inflight:
+                break  # pool broke before anything (else) could be submitted
+            timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
+            done, not_done = wait(set(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                hung = True
+                failed.extend(inflight.values())
+                inflight.clear()
+                error = TimeoutError(
+                    f"{len(not_done)} shard(s) exceeded the "
+                    f"{self.task_deadline_s}s task deadline"
+                )
+                fault_log.record("executor", "deadline-kill", str(error))
+                break
+            for fut in done:
+                idx = inflight.pop(fut)
+                exc = fut.exception()
+                if exc is None:
+                    results[idx] = fut.result()
+                    if on_success is not None:
+                        on_success(idx)
+                elif isinstance(exc, _RETRYABLE):
+                    failed.append(idx)
+                    error = exc
+                    broken = broken or isinstance(exc, BrokenProcessPool)
+                else:
+                    # A genuine job-function error: not the executor's to heal.
+                    if not self.reuse_pool:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                    raise exc
+            # A broken pool fails its remaining futures promptly, so the loop
+            # keeps draining `inflight` without submitting anything new.
+        failed.extend(queue)  # never submitted (pool broke first)
         if broken or hung:
             self._discard_pool(pool, hung=hung)
             fault_log.record(
@@ -306,6 +376,78 @@ class EnsembleExecutor:
             jitter = float(self._backoff_rng.uniform(0.5, 1.5))
         return self.retry_backoff_s * (2 ** (attempt - 1)) * jitter
 
+    # ------------------------------------------------------------------ #
+    # Shared-memory payload transport
+    def _shareable(self, obj) -> bool:
+        return (
+            isinstance(obj, np.ndarray)
+            and not obj.dtype.hasobject
+            and obj.flags["C_CONTIGUOUS"]
+            and obj.nbytes >= self.shm_min_bytes
+        )
+
+    def _prepare_payloads(self, jobs):
+        """Swap large arrays in ``jobs`` for shared-memory handles.
+
+        Returns ``(arena, shipped_jobs, names_per_job)``.  Arrays are
+        deduplicated by identity — a broadcast payload (e.g. the EnSF
+        forecast ensemble every shard receives) lands in **one** segment no
+        matter how many work-units reference it — and each segment's
+        refcount equals the number of work-units holding a handle to it, so
+        the gather can release memory shard-by-shard as results land.
+        """
+        arena = SharedPayloadArena()
+        memo: dict[int, object] = {}
+        keep = []  # pins shared source arrays so id() stays unambiguous
+        names_per_job: list[list[str]] = []
+
+        def swap(obj, names):
+            if self._shareable(obj):
+                handle = memo.get(id(obj))
+                if handle is None:
+                    handle = arena.share(obj)
+                    memo[id(obj)] = handle
+                    keep.append(obj)
+                arena.retain(handle.name)
+                names.append(handle.name)
+                return handle
+            if isinstance(obj, tuple):
+                return tuple(swap(v, names) for v in obj)
+            if isinstance(obj, list):
+                return [swap(v, names) for v in obj]
+            if isinstance(obj, dict):
+                return {k: swap(v, names) for k, v in obj.items()}
+            return obj
+
+        try:
+            shipped = []
+            for job in jobs:
+                names: list[str] = []
+                shipped.append(swap(job, names))
+                names_per_job.append(names)
+        except Exception:
+            arena.release_all()
+            raise
+        return arena, shipped, names_per_job
+
+    def _record_payload_stats(self, jobs, shipped, arena, workers) -> None:
+        proto = pickle.HIGHEST_PROTOCOL
+        segment_bytes = 0
+        if arena is not None:
+            with arena._lock:
+                segment_bytes = sum(entry[0].size for entry in arena._segments.values())
+        self.last_payload_stats = {
+            "transport": (
+                "serial" if workers == 1 else ("shm" if arena is not None else "pickle")
+            ),
+            "n_jobs": len(jobs),
+            "job_bytes_raw": [len(pickle.dumps(j, protocol=proto)) for j in jobs],
+            "job_bytes_shipped": [len(pickle.dumps(j, protocol=proto)) for j in shipped],
+            "shared_segment_bytes": int(segment_bytes),
+            "n_segments": 0 if arena is None else len(arena),
+            "n_handles": sum(count_handles(j) for j in shipped),
+        }
+
     def _gather(
         self,
         fn,
@@ -313,6 +455,7 @@ class EnsembleExecutor:
         workers: int,
         fault_log: FaultLog | None = None,
         fault_plan: FaultPlan | None | str = "inherit",
+        max_slots: int | None = None,
     ) -> list:
         """Run ``jobs`` (serially or on the pool), retrying failed shards.
 
@@ -322,41 +465,76 @@ class EnsembleExecutor:
         once, the recovered gather is bit-identical to a fault-free one.
         ``fault_log``/``fault_plan`` default to the executor's own; an
         :class:`ExecutorLease` passes per-job overrides so concurrent jobs
-        sharing the pool keep separately attributable recovery ledgers.
+        sharing the pool keep separately attributable recovery ledgers, and
+        its worker quota arrives as ``max_slots`` (a cap on concurrently
+        in-flight shards — never on the decomposition, which is fixed by the
+        caller before this method runs).
+
+        Pool gathers with shm enabled ship large arrays through a
+        per-gather :class:`~repro.hpc.shm.SharedPayloadArena`; segments are
+        refcount-released as their shards succeed and the arena is drained
+        unconditionally in the ``finally`` below, so neither failures nor
+        retries can leak ``/dev/shm`` segments.  Retried shards re-read the
+        still-retained segments — the recompute sees the same bytes.
         """
         fault_log = self.fault_log if fault_log is None else fault_log
         if isinstance(fault_plan, str):
             fault_plan = self.fault_plan
-        results: list = [None] * len(jobs)
-        pending = list(range(len(jobs)))
-        attempt = 0
-        while True:
-            faults = self._faults_for(pending, fault_plan)
-            if workers == 1:
-                failed, error = self._attempt_serial(fn, jobs, results, pending, faults)
-            else:
-                failed, error = self._attempt_pool(
-                    fn, jobs, results, pending, faults, workers, fault_log
+        arena, shipped = None, jobs
+        names_per_job: list[list[str]] | None = None
+        if workers > 1 and self.shm_payloads:
+            try:
+                arena, shipped, names_per_job = self._prepare_payloads(jobs)
+            except Exception:
+                arena, shipped, names_per_job = None, jobs, None  # pickle fallback
+        if self.payload_stats:
+            self._record_payload_stats(jobs, shipped, arena, workers)
+        if arena is not None:
+            with self._arena_lock:
+                self._arenas.add(arena)
+
+        def on_success(idx: int) -> None:
+            if arena is not None:
+                for name in names_per_job[idx]:
+                    arena.release(name)
+
+        try:
+            results: list = [None] * len(jobs)
+            pending = list(range(len(jobs)))
+            attempt = 0
+            while True:
+                faults = self._faults_for(pending, fault_plan)
+                if workers == 1:
+                    failed, error = self._attempt_serial(fn, jobs, results, pending, faults)
+                else:
+                    failed, error = self._attempt_pool(
+                        fn, shipped, results, pending, faults, workers, fault_log,
+                        max_slots=max_slots, on_success=on_success,
+                    )
+                if not failed:
+                    return results
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise ShardRetryError(
+                        f"{len(failed)} shard(s) still failing after "
+                        f"{self.max_retries} retries: {error!r}"
+                    ) from error
+                fault_log.record(
+                    "executor",
+                    "retry",
+                    f"recomputing {len(failed)} shard(s), attempt {attempt + 1} "
+                    f"after {type(error).__name__}",
                 )
-            if not failed:
-                return results
-            attempt += 1
-            if attempt > self.max_retries:
-                raise ShardRetryError(
-                    f"{len(failed)} shard(s) still failing after "
-                    f"{self.max_retries} retries: {error!r}"
-                ) from error
-            fault_log.record(
-                "executor",
-                "retry",
-                f"recomputing {len(failed)} shard(s), attempt {attempt + 1} "
-                f"after {type(error).__name__}",
-            )
-            delay = self._retry_delay(attempt)
-            if delay > 0:
-                time.sleep(delay)
-            failed.sort()
-            pending = failed
+                delay = self._retry_delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                failed.sort()
+                pending = failed
+        finally:
+            if arena is not None:
+                arena.release_all()
+                with self._arena_lock:
+                    self._arenas.discard(arena)
 
     def close(self) -> None:
         """Shut down the persistent worker pool (no-op when none is open).
@@ -368,6 +546,24 @@ class EnsembleExecutor:
         on the broken pipes.  Swallowing those here keeps teardown from
         masking the real failure a test is about to report.
         """
+        self._close_pool()
+        # Backstop for shm arenas whose gather never reached its finally
+        # (a job thread killed mid-flight): unlink them now rather than
+        # leaking /dev/shm segments for the interpreter's lifetime.  Pool
+        # *replacement* (_acquire_pool growing the pool mid-gather) must
+        # not do this — live gathers keep their arenas across rebuilds —
+        # which is why only full close() drains the set.
+        lock = getattr(self, "_arena_lock", None)
+        if lock is not None:
+            with lock:
+                leftovers, self._arenas = list(self._arenas), set()
+            for arena in leftovers:
+                try:
+                    arena.release_all()
+                except Exception:
+                    pass
+
+    def _close_pool(self) -> None:
         pool = getattr(self, "_pool", None)
         self._pool = None
         self._pool_workers = 0
@@ -389,11 +585,26 @@ class EnsembleExecutor:
         except Exception:
             pass  # interpreter tear-down: the pool reaps itself
 
+    @property
+    def active_leases(self) -> int:
+        """Open (un-closed) leases — the service's release audit reads this."""
+        with self._pool_lock:
+            return self._active_leases
+
+    def _lease_opened(self) -> None:
+        with self._pool_lock:
+            self._active_leases += 1
+
+    def _lease_closed(self) -> None:
+        with self._pool_lock:
+            self._active_leases -= 1
+
     def lease(
         self,
         job: str = "",
         fault_log: FaultLog | None = None,
         fault_plan: FaultPlan | None = None,
+        max_workers: int | None = None,
     ) -> "ExecutorLease":
         """Per-job view of this executor for concurrent scheduling.
 
@@ -401,11 +612,16 @@ class EnsembleExecutor:
         :class:`FaultLog` (fresh by default) and draws injected faults from
         its own :class:`FaultPlan` (empty by default, so a process-wide
         ``REPRO_FAULT_PLAN`` targeting the service does not double-fire
-        inside every job).  See :class:`ExecutorLease`.
+        inside every job).  ``max_workers`` is the lease's pool-slot quota
+        (see :class:`ExecutorLease`).
         """
-        return ExecutorLease(self, job=job, fault_log=fault_log, fault_plan=fault_plan)
+        return ExecutorLease(
+            self, job=job, fault_log=fault_log, fault_plan=fault_plan, max_workers=max_workers
+        )
 
-    def map_blocks(self, fn, jobs: list, *, fault_log=None, fault_plan="inherit") -> list:
+    def map_blocks(
+        self, fn, jobs: list, *, fault_log=None, fault_plan="inherit", max_slots=None
+    ) -> list:
         """Map independent, picklable work-units over the pool, in order.
 
         This is the generic sharding primitive behind the parallel analysis
@@ -415,15 +631,20 @@ class EnsembleExecutor:
         The caller owns the decomposition; to guarantee worker-count
         invariance the job list must not depend on ``n_workers`` (the pool
         only changes *where* a job runs, never what it computes).  With one
-        job or one worker the jobs run serially in-process.
+        job or one worker the jobs run serially in-process.  ``max_slots``
+        (a lease quota) caps how many jobs run concurrently without touching
+        the job list, so quota changes cannot change results.
         """
         if not jobs:
             return []
         workers = min(self.n_workers, len(jobs))
-        return self._gather(fn, jobs, workers, fault_log=fault_log, fault_plan=fault_plan)
+        return self._gather(
+            fn, jobs, workers, fault_log=fault_log, fault_plan=fault_plan, max_slots=max_slots
+        )
 
     def map_states(
-        self, model, ensemble: np.ndarray, n_steps: int = 1, *, fault_log=None, fault_plan="inherit"
+        self, model, ensemble: np.ndarray, n_steps: int = 1, *,
+        fault_log=None, fault_plan="inherit", max_slots=None,
     ) -> np.ndarray:
         """Propagate an ``(m, d)`` ensemble through ``model`` member-parallel."""
         ensemble = np.asarray(ensemble, dtype=float)
@@ -433,7 +654,8 @@ class EnsembleExecutor:
         slices = ensemble_slices(ensemble.shape[0], workers)
         jobs = [(model, ensemble[s], n_steps) for s in slices]
         results = self._gather(
-            _forecast_chunk, jobs, workers, fault_log=fault_log, fault_plan=fault_plan
+            _forecast_chunk, jobs, workers,
+            fault_log=fault_log, fault_plan=fault_plan, max_slots=max_slots,
         )
         return np.concatenate(results, axis=0)
 
@@ -447,6 +669,7 @@ class EnsembleExecutor:
         *,
         fault_log=None,
         fault_plan="inherit",
+        max_slots=None,
     ) -> np.ndarray:
         """Member-parallel EnSF analysis (each worker integrates its members).
 
@@ -480,7 +703,8 @@ class EnsembleExecutor:
             for s in slices
         ]
         results = self._gather(
-            _ensf_chunk, jobs, workers, fault_log=fault_log, fault_plan=fault_plan
+            _ensf_chunk, jobs, workers,
+            fault_log=fault_log, fault_plan=fault_plan, max_slots=max_slots,
         )
         return np.concatenate(results, axis=0)
 
@@ -499,11 +723,19 @@ class ExecutorLease:
     - injected faults come from the **lease's own** :class:`FaultPlan`
       (empty by default), so a process-wide ``REPRO_FAULT_PLAN`` aimed at
       the scheduler site is not consumed N times by N concurrent jobs —
-      chaos tests target a specific job by handing that job's lease a plan.
+      chaos tests target a specific job by handing that job's lease a plan;
+    - ``max_workers`` is the lease's **pool-slot quota**: at most that many
+      of the lease's shards are in flight on the shared pool at any instant
+      (``None`` = unconstrained).  The quota caps concurrency only — the
+      job decomposition is fixed before submission — so any quota yields
+      bit-identical results, and the service re-targets it live
+      (fair-share re-arbitration simply assigns ``lease.max_workers``).
 
-    ``close()`` is a no-op: the pool belongs to the parent executor and
-    outlives any one job.  Unknown attributes delegate to the parent, so a
-    lease substitutes anywhere an ``EnsembleExecutor`` is accepted.
+    ``close()`` releases the lease: the shared pool stays up (it belongs to
+    the parent and outlives any one job), but the parent's ``active_leases``
+    count drops so the scheduler can prove each job attempt released its
+    lease.  Unknown attributes delegate to the parent, so a lease
+    substitutes anywhere an ``EnsembleExecutor`` is accepted.
     """
 
     def __init__(
@@ -512,24 +744,36 @@ class ExecutorLease:
         job: str = "",
         fault_log: FaultLog | None = None,
         fault_plan: FaultPlan | None = None,
+        max_workers: int | None = None,
     ):
+        if max_workers is not None and int(max_workers) < 1:
+            raise ValueError("max_workers must be positive (or None)")
         self._parent = parent
         self.job = str(job)
         self.fault_log = fault_log if fault_log is not None else FaultLog()
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.max_workers = None if max_workers is None else int(max_workers)
+        self._closed = False
+        parent._lease_opened()
 
     @property
     def parent(self) -> EnsembleExecutor:
         return self._parent
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def map_blocks(self, fn, jobs: list) -> list:
         return self._parent.map_blocks(
-            fn, jobs, fault_log=self.fault_log, fault_plan=self.fault_plan
+            fn, jobs,
+            fault_log=self.fault_log, fault_plan=self.fault_plan, max_slots=self.max_workers,
         )
 
     def map_states(self, model, ensemble: np.ndarray, n_steps: int = 1) -> np.ndarray:
         return self._parent.map_states(
-            model, ensemble, n_steps, fault_log=self.fault_log, fault_plan=self.fault_plan
+            model, ensemble, n_steps,
+            fault_log=self.fault_log, fault_plan=self.fault_plan, max_slots=self.max_workers,
         )
 
     def analyze_ensf(self, filter_, forecast_ensemble, observation, operator, seed=0):
@@ -541,10 +785,14 @@ class ExecutorLease:
             seed,
             fault_log=self.fault_log,
             fault_plan=self.fault_plan,
+            max_slots=self.max_workers,
         )
 
     def close(self) -> None:
-        """No-op: the shared pool is owned (and closed) by the parent."""
+        """Release the lease (idempotent).  The shared pool stays up."""
+        if not self._closed:
+            self._closed = True
+            self._parent._lease_closed()
 
     def __enter__(self) -> "ExecutorLease":
         return self

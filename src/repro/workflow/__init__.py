@@ -23,6 +23,7 @@ _EXPORTS = {
     "JobSpec": "repro.workflow.scheduler",
     "JobContext": "repro.workflow.scheduler",
     "lorenz96_ensf_job": "repro.workflow.scheduler",
+    "StatusServer": "repro.workflow.statusd",
     "EnginePreempted": "repro.workflow.engine",
     "CycleEngine": "repro.workflow.engine",
     "CycleRecord": "repro.workflow.engine",

@@ -66,6 +66,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import math
 import os
 import signal
 import threading
@@ -105,7 +106,10 @@ class ServiceConfig:
     ``max_attempts`` is the per-job crash budget (a preemption is not a
     crash and never consumes it).  ``checkpoint_every``/``keep_last``
     configure each job's checkpoint ring, which is what makes preemption
-    and crash recovery bit-identical.
+    and crash recovery bit-identical.  ``fair_share`` re-arbitrates
+    per-job pool-slot quotas (equal across tenants, weighted by
+    ``weight``/priority within one) every time the running set changes;
+    when off, every lease runs unconstrained as before.
     """
 
     max_running: int = 2
@@ -116,6 +120,7 @@ class ServiceConfig:
     checkpoint_every: int = 1
     keep_last: int = 3
     poll_s: float = 0.05
+    fair_share: bool = True
 
     def __post_init__(self) -> None:
         if self.max_running < 1:
@@ -167,21 +172,66 @@ def _resolve_runner(ref: str):
     return obj
 
 
-def _jsonable(value):
-    """Recursively convert a runner result into JSON-serializable builtins."""
+def _jsonable(value, dropped: list | None = None, path: str = ""):
+    """Recursively convert a runner result into **strict**-JSON builtins.
+
+    Non-finite floats (a diverged job's ``final_rmse`` is the canonical
+    case) are sanitized to ``None`` rather than passed through: ``NaN`` /
+    ``Infinity`` are not JSON, and letting :func:`json.dumps` emit its
+    non-strict tokens would poison the checksummed journal for every
+    strict parser that later reads it.  When ``dropped`` is given, the
+    dotted path of each sanitized field is appended to it so the caller
+    can flag the loss instead of silently serving ``null``.
+    """
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {
+            str(k): _jsonable(v, dropped, f"{path}.{k}" if path else str(k))
+            for k, v in value.items()
+        }
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [_jsonable(v, dropped, f"{path}[{i}]") for i, v in enumerate(value)]
     if isinstance(value, np.ndarray):
-        return [_jsonable(v) for v in value.tolist()]
+        return _jsonable(value.tolist(), dropped, path)
     if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, (np.integer,)):
+        value = float(value)
+    elif isinstance(value, (np.integer,)):
         return int(value)
-    if isinstance(value, (np.bool_,)):
+    elif isinstance(value, (np.bool_,)):
         return bool(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        if dropped is not None:
+            dropped.append(path or "<root>")
+        return None
     return value
+
+
+def _fair_shares(weights: list[float], total_slots: int) -> list[int]:
+    """Split ``total_slots`` pool slots across weighted jobs, fairly.
+
+    Largest-remainder apportionment with a floor of one slot per job:
+    every running job can always make progress, the shares sum exactly to
+    ``total_slots`` whenever ``total_slots >= len(weights)``, and ties
+    break deterministically by position.  With more jobs than slots the
+    pool is simply oversubscribed at one slot each — the executor's
+    windowed submission then interleaves them on whatever workers exist.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    if any(not (w > 0) for w in weights):
+        raise ValueError("fair-share weights must be positive")
+    total = int(total_slots)
+    if total <= n:
+        return [1] * n
+    extra = total - n  # one slot each is reserved; the rest follows weight
+    wsum = float(sum(weights))
+    ideal = [w / wsum * extra for w in weights]
+    base = [int(x) for x in ideal]
+    leftover = extra - sum(base)
+    by_remainder = sorted(range(n), key=lambda i: (-(ideal[i] - base[i]), i))
+    for i in by_remainder[:leftover]:
+        base[i] += 1
+    return [1 + b for b in base]
 
 
 @dataclass(frozen=True)
@@ -192,8 +242,11 @@ class JobSpec:
     module-level callable, normalized to one) with signature
     ``runner(ctx: JobContext) -> dict``; it must be importable because a
     restarted service re-resolves runners from the journal.  ``params`` is
-    the JSON-serializable argument payload handed to the runner via
-    ``ctx.params``.  Higher ``priority`` preempts lower.
+    the strict-JSON-serializable argument payload handed to the runner via
+    ``ctx.params``.  Higher ``priority`` preempts lower.  ``tenant``
+    groups jobs for fair-share arbitration (untenanted jobs each count as
+    their own tenant) and ``weight`` scales a job's share within its
+    tenant.
     """
 
     name: str
@@ -201,14 +254,20 @@ class JobSpec:
     params: dict = field(default_factory=dict)
     priority: int = 0
     max_attempts: int | None = None
+    tenant: str = ""
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("job name must be non-empty")
         object.__setattr__(self, "runner", _runner_ref(self.runner))
-        json.dumps(self.params)  # fail early: the journal must serialize it
+        # Fail early: the journal must serialize it, strictly (no NaN tokens).
+        json.dumps(self.params, allow_nan=False)
         if self.max_attempts is not None and self.max_attempts < 1:
             raise ValueError("max_attempts must be positive")
+        object.__setattr__(self, "weight", float(self.weight))
+        if not (math.isfinite(self.weight) and self.weight > 0):
+            raise ValueError("weight must be a positive finite float")
 
 
 class _JobRecord:
@@ -227,6 +286,8 @@ class _JobRecord:
         self.preempt_event = threading.Event()
         self.crash_event = threading.Event()
         self.thread: threading.Thread | None = None
+        self.context: "JobContext | None" = None  # live attempt only
+        self.quota: int | None = None  # current fair-share pool-slot quota
 
     def to_payload(self) -> dict:
         return {
@@ -235,6 +296,8 @@ class _JobRecord:
             "params": self.spec.params,
             "priority": self.spec.priority,
             "max_attempts": self.spec.max_attempts,
+            "tenant": self.spec.tenant,
+            "weight": self.spec.weight,
             "index": self.index,
             "state": self.state,
             "attempts": self.attempts,
@@ -248,15 +311,20 @@ class _JobRecord:
         spec = JobSpec(
             name=payload["name"],
             runner=payload["runner"],
-            params=payload.get("params") or {},
+            # Sanitize on the way in: a journal written before the strict-
+            # JSON fix (or edited by hand) may carry non-finite floats that
+            # JobSpec validation and the next journal write would reject.
+            params=_jsonable(payload.get("params") or {}),
             priority=int(payload.get("priority", 0)),
             max_attempts=payload.get("max_attempts"),
+            tenant=str(payload.get("tenant", "") or ""),
+            weight=float(payload.get("weight", 1.0)),
         )
         rec = cls(spec, int(payload["index"]))
         rec.state = payload["state"]
         rec.attempts = int(payload.get("attempts", 0))
         rec.resume = bool(payload.get("resume", False))
-        rec.result = payload.get("result")
+        rec.result = _jsonable(payload.get("result"))
         rec.error = payload.get("error")
         return rec
 
@@ -289,6 +357,17 @@ class JobContext:
             job=self.name, fault_log=record.fault_log
         )
         self.workdir.mkdir(parents=True, exist_ok=True)
+
+    def release(self) -> None:
+        """Close this attempt's lease (idempotent; every attempt gets a fresh one).
+
+        Called from ``_run_job``'s ``finally`` so leases cannot accumulate
+        across retries and preemptions — the pool's ``active_leases`` count
+        returns to baseline after every attempt, however it ended.
+        """
+        if self.executor is not None:
+            self.executor.close()
+        self._record.context = None
 
     def should_preempt(self) -> bool:
         """Cycle-boundary hook: injected crashes fire here, preemption polls here."""
@@ -359,6 +438,8 @@ class ExperimentService:
         self._stop = False
         self._supervisor: threading.Thread | None = None
         self._backoff_rng = np.random.default_rng(self.config.backoff_seed)
+        self._seq = 0  # monotonic job index (never reused, even after resubmits)
+        self._status_server = None
         self.journal_path.parent.mkdir(parents=True, exist_ok=True)
         self.workdir.mkdir(parents=True, exist_ok=True)
         if recover:
@@ -380,9 +461,14 @@ class ExperimentService:
         or storage-level corruption) still leaves a loadable journal.
         """
         payload = self._journal_payload()
-        canonical = json.dumps(payload, sort_keys=True)
+        # allow_nan=False end to end: a non-finite float that slipped past
+        # result sanitization must fail the write loudly, never land as a
+        # non-strict NaN/Infinity token inside the checksummed journal.
+        canonical = json.dumps(payload, sort_keys=True, allow_nan=False)
         digest = hashlib.sha256(canonical.encode()).hexdigest()
-        body = json.dumps({"sha256": digest, "payload": payload}, sort_keys=True)
+        body = json.dumps(
+            {"sha256": digest, "payload": payload}, sort_keys=True, allow_nan=False
+        )
         path = self.journal_path
         if path.exists():
             prev_tmp = path.with_name(path.name + ".prev.tmp")
@@ -435,7 +521,10 @@ class ExperimentService:
         try:
             wrapper = json.loads(path.read_text())
             payload = wrapper["payload"]
-            canonical = json.dumps(payload, sort_keys=True)
+            # allow_nan=False: a journal carrying non-strict NaN/Infinity
+            # tokens (pre-fix writes) fails re-canonicalization here and is
+            # treated as corrupt, falling back to the .prev generation.
+            canonical = json.dumps(payload, sort_keys=True, allow_nan=False)
             if hashlib.sha256(canonical.encode()).hexdigest() != wrapper["sha256"]:
                 return None
             return payload
@@ -465,6 +554,7 @@ class ExperimentService:
                     rec.resume = True
                 self._jobs[rec.spec.name] = rec
                 self._order.append(rec)
+                self._seq = max(self._seq, rec.index + 1)
             if self._order:
                 self._write_journal_locked()
 
@@ -476,11 +566,17 @@ class ExperimentService:
         params: dict | None = None,
         priority: int = 0,
         max_attempts: int | None = None,
+        tenant: str = "",
+        weight: float = 1.0,
     ) -> str:
         """Queue a job; returns its state (``"pending"`` or ``"rejected"``).
 
         The runner is resolved immediately so an unimportable reference
-        fails at submission, not deep inside a worker thread.
+        fails at submission, not deep inside a worker thread.  A name whose
+        only record is terminal-``rejected`` may be resubmitted — a
+        backpressure bounce is a statement about queue capacity at that
+        moment, not a permanent claim on the name (any other state still
+        raises: the name's history must stay unambiguous).
         """
         spec = JobSpec(
             name=name,
@@ -488,12 +584,19 @@ class ExperimentService:
             params=dict(params or {}),
             priority=priority,
             max_attempts=max_attempts,
+            tenant=tenant,
+            weight=weight,
         )
         _resolve_runner(spec.runner)
         with self._cond:
-            if spec.name in self._jobs:
-                raise ValueError(f"job {spec.name!r} already submitted")
-            rec = _JobRecord(spec, index=len(self._order))
+            existing = self._jobs.get(spec.name)
+            if existing is not None:
+                if existing.state != "rejected":
+                    raise ValueError(f"job {spec.name!r} already submitted")
+                self._order.remove(existing)
+                del self._jobs[spec.name]
+            rec = _JobRecord(spec, index=self._seq)
+            self._seq += 1
             live = sum(1 for r in self._order if r.state not in TERMINAL_STATES)
             if live >= self.config.max_queued:
                 rec.state = "rejected"
@@ -522,6 +625,76 @@ class ExperimentService:
         with self._lock:
             return {rec.spec.name: rec.state for rec in self._order}
 
+    def _job_details_locked(self, rec: _JobRecord) -> dict:
+        now = time.monotonic()
+        return _jsonable(
+            {
+                "name": rec.spec.name,
+                "state": rec.state,
+                "priority": rec.spec.priority,
+                "tenant": rec.spec.tenant,
+                "weight": rec.spec.weight,
+                "index": rec.index,
+                "attempts": rec.attempts,
+                "max_attempts": rec.spec.max_attempts or self.config.max_attempts,
+                "resume": rec.resume,
+                "quota": rec.quota,
+                "backoff_remaining_s": (
+                    max(0.0, rec.backoff_until - now) if rec.state == "backoff" else 0.0
+                ),
+                "error": rec.error,
+                "fault_summary": {
+                    str(k): int(v) for k, v in rec.fault_log.summary().items()
+                },
+                "result": rec.result,
+            }
+        )
+
+    def job_details(self, name: str) -> dict:
+        """Full strict-JSON detail for one job (the ``/jobs/<name>`` payload)."""
+        with self._lock:
+            return self._job_details_locked(self._jobs[name])
+
+    def status_details(self) -> dict:
+        """Service-wide strict-JSON snapshot (the ``/jobs`` payload).
+
+        Per-job summaries (state/attempts/backoff/quota/fault counts, no
+        result arrays — those stay behind ``/jobs/<name>``) plus scheduler
+        counters, cheap enough for high-frequency polling.
+        """
+        with self._lock:
+            jobs = {}
+            for rec in self._order:
+                detail = self._job_details_locked(rec)
+                detail.pop("result", None)
+                jobs[rec.spec.name] = detail
+            counts: dict[str, int] = {}
+            for rec in self._order:
+                counts[rec.state] = counts.get(rec.state, 0) + 1
+            return {
+                "jobs": jobs,
+                "counts": counts,
+                "running": [rec.spec.name for rec in self._running],
+                "draining": self._draining,
+                "fair_share": self.config.fair_share,
+                "max_running": self.config.max_running,
+                "pool_workers": None if self.executor is None else self.executor.n_workers,
+            }
+
+    def serve_status(self, host: str = "127.0.0.1", port: int = 0):
+        """Start (or return) the HTTP status frontend bound to this service.
+
+        Lazily imports :mod:`repro.workflow.statusd`; the server lives on a
+        daemon thread and is closed with the service.  ``port=0`` binds an
+        ephemeral port — read it back from the returned server's ``port``.
+        """
+        from repro.workflow.statusd import StatusServer
+
+        with self._lock:
+            if self._status_server is None:
+                self._status_server = StatusServer(service=self, host=host, port=port)
+            return self._status_server
+
     # -- scheduling --------------------------------------------------------- #
     def _transition_locked(self, rec: _JobRecord, state: str) -> None:
         rec.state = state
@@ -540,12 +713,52 @@ class ExperimentService:
         # the job sat in the queue must still fire once it runs.
         rec.preempt_event.clear()
         ctx = JobContext(self, rec)
+        rec.context = ctx
         self._transition_locked(rec, "running")
         self._running.append(rec)
+        self._rebalance_quotas_locked()
         rec.thread = threading.Thread(
             target=self._run_job, args=(rec, ctx), name=f"job-{rec.spec.name}", daemon=True
         )
         rec.thread.start()
+
+    def _finish_running_locked(self, rec: _JobRecord) -> None:
+        self._running.remove(rec)
+        rec.quota = None
+        self._rebalance_quotas_locked()
+
+    def _rebalance_quotas_locked(self) -> None:
+        """Re-arbitrate pool-slot quotas across the running set.
+
+        Two-level weighted fair share over the parent pool's workers:
+        tenants split the pool equally (an untenanted job is its own
+        tenant), and jobs within a tenant split that share proportionally
+        to ``weight * max(1, priority + 1)``.  Quotas land directly on each
+        live lease's ``max_workers``, so a re-arbitration takes effect at
+        the job's next gather — mid-gather shards are never revoked.  The
+        executor caps only *concurrency*, never the decomposition, so any
+        quota assignment yields bit-identical job results.
+        """
+        if self.executor is None or not self._running:
+            return
+        if not self.config.fair_share:
+            for rec in self._running:
+                rec.quota = None
+                if rec.context is not None and rec.context.executor is not None:
+                    rec.context.executor.max_workers = None
+            return
+        tenants: dict[str, list[_JobRecord]] = {}
+        for rec in self._running:
+            tenants.setdefault(rec.spec.tenant or f"~{rec.spec.name}", []).append(rec)
+        names = sorted(tenants)
+        tenant_shares = _fair_shares([1.0] * len(names), self.executor.n_workers)
+        for tenant_name, tenant_share in zip(names, tenant_shares):
+            members = tenants[tenant_name]
+            weights = [r.spec.weight * max(1, r.spec.priority + 1) for r in members]
+            for rec, share in zip(members, _fair_shares(weights, tenant_share)):
+                rec.quota = int(share)
+                if rec.context is not None and rec.context.executor is not None:
+                    rec.context.executor.max_workers = int(share)
 
     def _supervise(self) -> None:
         with self._cond:
@@ -587,52 +800,74 @@ class ExperimentService:
 
     def _run_job(self, rec: _JobRecord, ctx: JobContext) -> None:
         try:
-            runner = _resolve_runner(rec.spec.runner)
-            result = runner(ctx)
-        except EnginePreempted as exc:
-            with self._cond:
-                self._running.remove(rec)
-                rec.resume = True
-                rec.fault_log.record(
-                    "scheduler", "preempt", f"checkpointed; resumes at cycle {exc.next_cycle}"
-                )
-                self._transition_locked(rec, "preempted")
-                # Outside a drain the job immediately re-enters the queue.
-                if not self._draining:
-                    self._transition_locked(rec, "pending")
-                self._cond.notify_all()
-        except BaseException as exc:  # crash isolation: nothing escapes the thread
-            with self._cond:
-                self._running.remove(rec)
-                rec.attempts += 1
-                rec.resume = True
-                rec.error = f"{type(exc).__name__}: {exc}"
-                budget = rec.spec.max_attempts or self.config.max_attempts
-                if rec.attempts >= budget:
-                    self.fault_log.record(
-                        "scheduler",
-                        "job-failed",
-                        f"{rec.spec.name!r} exhausted {budget} attempts: {rec.error}",
-                    )
-                    self._transition_locked(rec, "failed")
-                else:
-                    delay = self._retry_delay_locked(rec.attempts)
-                    rec.backoff_until = time.monotonic() + delay
+            try:
+                runner = _resolve_runner(rec.spec.runner)
+                result = runner(ctx)
+            except EnginePreempted as exc:
+                with self._cond:
+                    self._finish_running_locked(rec)
+                    rec.resume = True
                     rec.fault_log.record(
-                        "scheduler",
-                        "job-retry",
-                        f"attempt {rec.attempts}/{budget} crashed ({rec.error}); "
-                        f"requeued after {delay:.3f}s backoff",
+                        "scheduler", "preempt", f"checkpointed; resumes at cycle {exc.next_cycle}"
                     )
-                    self._transition_locked(rec, "backoff")
-                self._cond.notify_all()
-        else:
-            with self._cond:
-                self._running.remove(rec)
-                rec.result = _jsonable(result) if isinstance(result, dict) else None
-                rec.error = None
-                self._transition_locked(rec, "done")
-                self._cond.notify_all()
+                    self._transition_locked(rec, "preempted")
+                    # Outside a drain the job immediately re-enters the queue.
+                    if not self._draining:
+                        self._transition_locked(rec, "pending")
+                    self._cond.notify_all()
+            except BaseException as exc:  # crash isolation: nothing escapes the thread
+                with self._cond:
+                    self._finish_running_locked(rec)
+                    rec.attempts += 1
+                    rec.resume = True
+                    rec.error = f"{type(exc).__name__}: {exc}"
+                    budget = rec.spec.max_attempts or self.config.max_attempts
+                    if rec.attempts >= budget:
+                        self.fault_log.record(
+                            "scheduler",
+                            "job-failed",
+                            f"{rec.spec.name!r} exhausted {budget} attempts: {rec.error}",
+                        )
+                        self._transition_locked(rec, "failed")
+                    else:
+                        delay = self._retry_delay_locked(rec.attempts)
+                        rec.backoff_until = time.monotonic() + delay
+                        rec.fault_log.record(
+                            "scheduler",
+                            "job-retry",
+                            f"attempt {rec.attempts}/{budget} crashed ({rec.error}); "
+                            f"requeued after {delay:.3f}s backoff",
+                        )
+                        self._transition_locked(rec, "backoff")
+                    self._cond.notify_all()
+            else:
+                with self._cond:
+                    self._finish_running_locked(rec)
+                    if isinstance(result, dict):
+                        dropped: list[str] = []
+                        payload = _jsonable(result, dropped)
+                        if dropped:
+                            # Sanitized non-finite floats: keep the journal
+                            # strict but make the loss visible in the result
+                            # and the job's fault ledger.
+                            payload["nonfinite_fields"] = sorted(dropped)
+                            rec.fault_log.record(
+                                "scheduler",
+                                "nonfinite-result",
+                                f"sanitized {len(dropped)} non-finite result "
+                                f"field(s): {', '.join(sorted(dropped))}",
+                            )
+                        rec.result = payload
+                    else:
+                        rec.result = None
+                    rec.error = None
+                    self._transition_locked(rec, "done")
+                    self._cond.notify_all()
+        finally:
+            # Whatever path the attempt took, its lease must die with it —
+            # leases (and their fault routing) never accumulate across
+            # retries and preemptions.
+            ctx.release()
 
     def _retry_delay_locked(self, attempt: int) -> float:
         """Jittered exponential backoff (dedicated rng — never an experiment stream)."""
@@ -678,8 +913,21 @@ class ExperimentService:
         return True
 
     def install_signal_handlers(self) -> None:
-        """SIGTERM → graceful drain request (main thread only)."""
-        signal.signal(signal.SIGTERM, lambda signum, frame: self.request_drain())
+        """SIGTERM → graceful drain request (main thread only).
+
+        Chains to whatever handler was installed before: embedding hosts
+        (test harnesses, process supervisors, a second service in the same
+        process) keep their SIGTERM behaviour — this service's drain runs
+        first, then the previous handler fires with the same arguments.
+        """
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _drain_then_chain(signum, frame):
+            self.request_drain()
+            if callable(previous) and previous not in (signal.SIG_IGN, signal.SIG_DFL):
+                previous(signum, frame)
+
+        signal.signal(signal.SIGTERM, _drain_then_chain)
 
     def _shutdown_supervisor(self) -> None:
         with self._cond:
@@ -722,6 +970,9 @@ class ExperimentService:
 
     def close(self) -> None:
         self._shutdown_supervisor()
+        server, self._status_server = self._status_server, None
+        if server is not None:
+            server.close()
 
     def __enter__(self) -> "ExperimentService":
         return self

@@ -11,12 +11,16 @@ checkpointing and no service machinery at all.
 """
 
 import json
+import signal
 import threading
 import time
+import urllib.error
+import urllib.request
 
 import numpy as np
 import pytest
 
+from repro.hpc.ensemble_parallel import EnsembleExecutor
 from repro.utils.faults import FaultPlan
 from repro.workflow.scheduler import (
     JOB_STATES,
@@ -24,6 +28,7 @@ from repro.workflow.scheduler import (
     ExperimentService,
     JobSpec,
     ServiceConfig,
+    _fair_shares,
     lorenz96_ensf_job,
 )
 
@@ -229,10 +234,14 @@ class TestCrashRecovery:
 
     def test_crash_in_one_job_never_touches_siblings(self, tmp_path):
         params = dict(SHORT, seed=6)
-        with _service(tmp_path) as svc:
-            svc.submit("crasher", "test_scheduler:_always_crash", max_attempts=2)
-            svc.submit("healthy", RUNNER, params=params)
-            states = svc.run_until_complete(timeout=120.0)
+        with EnsembleExecutor(n_workers=2, min_members_per_worker=1) as pool:
+            with _service(tmp_path, executor=pool) as svc:
+                svc.submit("crasher", "test_scheduler:_always_crash", max_attempts=2)
+                svc.submit("healthy", RUNNER, params=params)
+                states = svc.run_until_complete(timeout=120.0)
+            # every attempt's lease — including the crashed ones' — was
+            # released back to the pool, so its bookkeeping is at baseline
+            assert pool.active_leases == 0
         assert states == {"crasher": "failed", "healthy": "done"}
         assert svc.result("healthy")["analysis_rmse"] == _clean_rmse(params)
 
@@ -340,3 +349,314 @@ class TestDrainAndBackpressure:
             svc.submit("slow", "test_scheduler:_slow_job")
             with pytest.raises(TimeoutError, match="slow"):
                 svc.run_until_complete(timeout=0.01)
+
+
+def _nonfinite_result_job(ctx):
+    return {"final_rmse": float("nan"), "worst_member": float("inf"), "ok": 1.0}
+
+
+# Two-phase rendezvous for the fair-share probe: the first wait proves both
+# jobs are running (so quotas were re-arbitrated for a 2-job set) before
+# either reads its lease, the second keeps both alive until both have read.
+_QUOTA_SYNC: dict = {"barrier": None}
+
+
+def _quota_probe(ctx):
+    _QUOTA_SYNC["barrier"].wait(timeout=20)
+    quota = None if ctx.executor is None else ctx.executor.max_workers
+    _QUOTA_SYNC["barrier"].wait(timeout=20)
+    return {"quota": -1 if quota is None else int(quota)}
+
+
+def _quota_probe_solo(ctx):
+    quota = None if ctx.executor is None else ctx.executor.max_workers
+    return {"quota": -1 if quota is None else int(quota)}
+
+
+def _strict_loads(body: bytes):
+    def _reject(token):
+        raise AssertionError(f"non-strict JSON token {token!r} in response")
+
+    return json.loads(body.decode("utf-8"), parse_constant=_reject)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return _strict_loads(resp.read())
+
+
+# --------------------------------------------------------------------------- #
+# strict-JSON journal (NaN poisoning regression)
+# --------------------------------------------------------------------------- #
+
+
+class TestStrictJournal:
+    def test_nonfinite_result_is_sanitized_not_poisonous(self, tmp_path):
+        """A runner returning NaN/Inf must not poison the journal: the job
+        completes, non-finite fields become null and are flagged, and the
+        journal file never carries a non-strict token."""
+        with _service(tmp_path) as svc:
+            svc.submit("nanjob", "test_scheduler:_nonfinite_result_job")
+            states = svc.run_until_complete(timeout=60.0)
+        assert states == {"nanjob": "done"}
+        result = svc.result("nanjob")
+        assert result["ok"] == 1.0
+        assert result["final_rmse"] is None
+        assert result["worst_member"] is None
+        assert result["nonfinite_fields"] == ["final_rmse", "worst_member"]
+        assert svc.job_fault_log("nanjob").count(action="nonfinite-result") == 1
+        # the on-disk journal is strict JSON end to end...
+        text = (tmp_path / "journal.json").read_text()
+        _strict_loads(text.encode("utf-8"))
+        assert "NaN" not in text and "Infinity" not in text
+        # ...and verifies + round-trips through load_journal
+        payload = ExperimentService.load_journal(tmp_path / "journal.json")
+        (job,) = [j for j in payload["jobs"] if j["name"] == "nanjob"]
+        assert job["result"]["final_rmse"] is None
+
+    def test_nonfinite_result_survives_the_http_frontend(self, tmp_path):
+        with _service(tmp_path) as svc:
+            svc.submit("nanjob", "test_scheduler:_nonfinite_result_job")
+            svc.run_until_complete(timeout=60.0)
+            server = svc.serve_status()
+            detail = _get(f"{server.url}/jobs/nanjob")
+        assert detail["state"] == "done"
+        assert detail["result"]["final_rmse"] is None
+        assert "final_rmse" in detail["result"]["nonfinite_fields"]
+
+    def test_nonfinite_params_rejected_at_submission(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="x", runner=RUNNER, params={"bad": float("nan")})
+        with pytest.raises(ValueError):
+            JobSpec(name="x", runner=RUNNER, weight=float("inf"))
+        with pytest.raises(ValueError):
+            JobSpec(name="x", runner=RUNNER, weight=0.0)
+
+    def test_pre_fix_nan_journal_treated_as_corrupt(self, tmp_path):
+        """A journal written by the pre-fix service (checksum over a
+        NaN-carrying canonical form) must fail verification, not load."""
+        import hashlib
+
+        payload = {"jobs": [{"name": "old", "state": "done", "result": float("nan")}]}
+        canonical = json.dumps(payload, sort_keys=True)  # pre-fix: allow_nan=True
+        wrapper = {
+            "sha256": hashlib.sha256(canonical.encode()).hexdigest(),
+            "payload": payload,
+        }
+        path = tmp_path / "journal.json"
+        path.write_text(json.dumps(wrapper))
+        assert ExperimentService.load_journal(path) is None
+
+
+# --------------------------------------------------------------------------- #
+# rejected-name resubmission (poisoned-forever regression)
+# --------------------------------------------------------------------------- #
+
+
+class TestResubmission:
+    def test_rejected_name_can_resubmit_once_capacity_frees(self, tmp_path):
+        config = ServiceConfig(max_running=1, max_queued=1, retry_backoff_s=0.01, poll_s=0.01)
+        with _service(tmp_path, config=config) as svc:
+            assert svc.submit("a", RUNNER, params=dict(SHORT, seed=11)) == "pending"
+            assert svc.submit("b", RUNNER, params=dict(SHORT, seed=12)) == "rejected"
+            assert svc.run_until_complete(timeout=120.0)["a"] == "done"
+            # capacity freed: the bounced name is usable again...
+            assert svc.submit("b", RUNNER, params=dict(SHORT, seed=12)) == "pending"
+            states = svc.run_until_complete(timeout=120.0)
+        assert states["b"] == "done"
+        assert svc.result("b")["analysis_rmse"] == _clean_rmse(dict(SHORT, seed=12))
+        # ...while any non-rejected record still owns its name
+        with pytest.raises(ValueError, match="already submitted"):
+            svc.submit("b", RUNNER, params=SHORT)
+
+    def test_resubmission_survives_restart(self, tmp_path):
+        config = ServiceConfig(max_running=1, max_queued=1, poll_s=0.01)
+        with _service(tmp_path, config=config) as svc:
+            svc.submit("a", RUNNER, params=dict(SHORT, seed=13))
+            assert svc.submit("b", RUNNER, params=dict(SHORT, seed=14)) == "rejected"
+            svc.run_until_complete(timeout=120.0)
+        with _service(tmp_path) as svc2:  # default config: capacity available
+            assert svc2.status()["b"] == "rejected"
+            assert svc2.submit("b", RUNNER, params=dict(SHORT, seed=14)) == "pending"
+            assert svc2.run_until_complete(timeout=120.0)["b"] == "done"
+
+
+# --------------------------------------------------------------------------- #
+# fair-share arbitration
+# --------------------------------------------------------------------------- #
+
+
+class TestFairShare:
+    def test_fair_shares_apportionment(self):
+        assert _fair_shares([1.0, 1.0], 4) == [2, 2]
+        assert _fair_shares([1.0], 4) == [4]
+        assert _fair_shares([3.0, 1.0], 4) == [3, 1]
+        assert _fair_shares([2.0, 1.0, 1.0], 8) == [4, 2, 2]
+        # oversubscribed: everyone keeps the floor of one slot
+        assert _fair_shares([1.0, 1.0, 1.0], 2) == [1, 1, 1]
+        with pytest.raises(ValueError):
+            _fair_shares([0.0], 4)
+
+    def test_fair_shares_conserve_slots_and_respect_floor(self):
+        for weights in ([1.0, 2.0, 3.0], [0.1, 0.9], [5.0] * 7):
+            for total in range(1, 12):
+                shares = _fair_shares(list(weights), total)
+                assert sum(shares) == max(total, len(weights))
+                assert min(shares) >= 1
+
+    def test_concurrent_jobs_split_the_pool(self, tmp_path):
+        _QUOTA_SYNC["barrier"] = threading.Barrier(2)
+        with EnsembleExecutor(n_workers=4, min_members_per_worker=1) as pool:
+            with _service(tmp_path, executor=pool) as svc:
+                svc.submit("p1", "test_scheduler:_quota_probe")
+                svc.submit("p2", "test_scheduler:_quota_probe")
+                states = svc.run_until_complete(timeout=60.0)
+        assert states == {"p1": "done", "p2": "done"}
+        # two equal untenanted jobs on a 4-slot pool: 2 slots each
+        assert svc.result("p1")["quota"] == 2
+        assert svc.result("p2")["quota"] == 2
+
+    def test_single_job_gets_the_whole_pool(self, tmp_path):
+        with EnsembleExecutor(n_workers=4, min_members_per_worker=1) as pool:
+            with _service(tmp_path, executor=pool) as svc:
+                svc.submit("solo", "test_scheduler:_quota_probe_solo")
+                svc.run_until_complete(timeout=60.0)
+        assert svc.result("solo")["quota"] == 4
+
+    def test_fair_share_off_leaves_leases_uncapped(self, tmp_path):
+        config = ServiceConfig(
+            max_running=2, retry_backoff_s=0.01, poll_s=0.01, fair_share=False
+        )
+        with EnsembleExecutor(n_workers=4, min_members_per_worker=1) as pool:
+            with _service(tmp_path, config=config, executor=pool) as svc:
+                svc.submit("solo", "test_scheduler:_quota_probe_solo")
+                svc.run_until_complete(timeout=60.0)
+        assert svc.result("solo")["quota"] == -1  # lease max_workers is None
+
+    def test_fair_share_results_bit_identical_to_unshared(self, tmp_path):
+        """Arbitration caps concurrency only: OSSE results through a shared
+        arbitrated pool match the no-executor (serial) service exactly."""
+        params = [dict(SHORT, seed=20 + i) for i in range(2)]
+        with _service(tmp_path / "serial") as svc:
+            for i, p in enumerate(params):
+                svc.submit(f"job-{i}", RUNNER, params=p)
+            svc.run_until_complete(timeout=120.0)
+            serial = [svc.result(f"job-{i}")["analysis_rmse"] for i in range(2)]
+        with EnsembleExecutor(n_workers=2, min_members_per_worker=1) as pool:
+            with _service(tmp_path / "shared", executor=pool) as svc2:
+                for i, p in enumerate(params):
+                    svc2.submit(f"job-{i}", RUNNER, params=p, tenant=f"t{i}")
+                svc2.run_until_complete(timeout=120.0)
+                shared = [svc2.result(f"job-{i}")["analysis_rmse"] for i in range(2)]
+            assert pool.active_leases == 0
+        assert shared == serial == [_clean_rmse(p) for p in params]
+
+
+# --------------------------------------------------------------------------- #
+# SIGTERM chaining
+# --------------------------------------------------------------------------- #
+
+
+class TestSignalChaining:
+    def test_sigterm_handler_chains_to_previous(self, tmp_path):
+        seen = []
+        original = signal.getsignal(signal.SIGTERM)
+        try:
+            signal.signal(signal.SIGTERM, lambda s, f: seen.append(s))
+            with _service(tmp_path) as svc:
+                svc.install_signal_handlers()
+                handler = signal.getsignal(signal.SIGTERM)
+                handler(signal.SIGTERM, None)
+                assert svc._draining  # drain ran first...
+            assert seen == [signal.SIGTERM]  # ...then the previous handler
+        finally:
+            signal.signal(signal.SIGTERM, original)
+
+    def test_sigterm_default_disposition_not_invoked(self, tmp_path):
+        original = signal.getsignal(signal.SIGTERM)
+        try:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            with _service(tmp_path) as svc:
+                svc.install_signal_handlers()
+                # SIG_DFL is not callable — chaining must skip it, not crash
+                signal.getsignal(signal.SIGTERM)(signal.SIGTERM, None)
+                assert svc._draining
+        finally:
+            signal.signal(signal.SIGTERM, original)
+
+
+# --------------------------------------------------------------------------- #
+# HTTP status frontend
+# --------------------------------------------------------------------------- #
+
+
+class TestStatusFrontend:
+    def test_routes_and_strict_payloads(self, tmp_path):
+        with _service(tmp_path) as svc:
+            svc.submit("job", RUNNER, params=SHORT)
+            svc.run_until_complete(timeout=60.0)
+            server = svc.serve_status()
+            assert svc.serve_status() is server  # cached, one socket
+            listing = _get(f"{server.url}/jobs")
+            assert listing["counts"] == {"done": 1}
+            assert listing["jobs"]["job"]["state"] == "done"
+            assert "result" not in listing["jobs"]["job"]  # cheap poll path
+            detail = _get(f"{server.url}/jobs/job")
+            assert detail["result"]["analysis_rmse"] == _clean_rmse(SHORT)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"{server.url}/jobs/nope")
+            assert err.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"{server.url}/unknown")
+            assert err.value.code == 404
+        # service close shuts the frontend down with it
+        with pytest.raises(urllib.error.URLError):
+            _get(f"{server.url}/jobs")
+
+    def test_journal_mode_serves_a_dead_service(self, tmp_path):
+        from repro.workflow.statusd import StatusServer
+
+        with _service(tmp_path) as svc:
+            svc.submit("job", RUNNER, params=SHORT)
+            svc.run_until_complete(timeout=60.0)
+        with StatusServer(journal_path=tmp_path / "journal.json") as server:
+            listing = _get(f"{server.url}/jobs")
+            assert listing["source"] == "journal"
+            assert listing["jobs"]["job"]["state"] == "done"
+            detail = _get(f"{server.url}/jobs/job")
+            assert detail["result"]["analysis_rmse"] == _clean_rmse(SHORT)
+        with pytest.raises(ValueError):
+            StatusServer()  # exactly one of service/journal_path
+
+    def test_concurrent_polling_during_a_live_campaign(self, tmp_path):
+        """Journal writes and HTTP snapshots race by design: every poll that
+        lands mid-campaign must still return strict, parseable JSON."""
+        with _service(tmp_path) as svc:
+            server = svc.serve_status()
+            stop = threading.Event()
+            bodies, errors = [], []
+
+            def poll():
+                while not stop.is_set():
+                    try:
+                        bodies.append(_get(f"{server.url}/jobs"))
+                    except urllib.error.URLError as exc:
+                        errors.append(exc)
+                    time.sleep(0.002)
+
+            pollers = [threading.Thread(target=poll) for _ in range(3)]
+            for t in pollers:
+                t.start()
+            try:
+                for i in range(3):
+                    svc.submit(f"job-{i}", RUNNER, params=dict(SHORT, seed=30 + i))
+                states = svc.run_until_complete(timeout=120.0)
+            finally:
+                stop.set()
+                for t in pollers:
+                    t.join(timeout=10)
+            final = _get(f"{server.url}/jobs")
+        assert states == {f"job-{i}": "done" for i in range(3)}
+        assert not errors
+        assert len(bodies) >= 3  # saw the campaign, not just the end state
+        assert final["counts"] == {"done": 3}
