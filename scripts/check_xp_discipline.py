@@ -81,6 +81,17 @@ HOST_SIDE: dict[str, set[str]] = {
         "MonteCarloScoreEstimator.weights",
     },
     "src/repro/core/sde.py": set(),
+    "src/repro/utils/random.py": {
+        # The RNG module is the host side of the noise contract: stream
+        # construction and seed derivation legitimately live on np.random.
+        # Everything else — the NoisePool serving path, MemberStreams
+        # fills — stays deny-checked so host compute cannot creep into the
+        # pooled hot path.
+        "make_generator",
+        "split_rng",
+        "SeedSequenceFactory.seed_for",
+        "NoisePool.__init__",
+    },
     "src/repro/core/ensf.py": {
         # observation-noise scaling constant, computed once on the host
         "_ScaledOperator.__init__",

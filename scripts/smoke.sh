@@ -105,8 +105,10 @@ SPECS = {
     "BENCH_kernels.json": dict(
         required=["benchmark", "created_unix", "sections",
                   "letkf", "letkf_sharded", "shard_payloads",
+                  "noise_pool", "eigh_blocked",
                   "ensf", "ensf_cases"],
-        notes=[("letkf_sharded", "speedup_note"), ("shard_payloads", "note")],
+        notes=[("letkf_sharded", "speedup_note"), ("shard_payloads", "note"),
+               ("noise_pool", "note"), ("eigh_blocked", "note")],
     ),
     "BENCH_forecast.json": dict(
         required=["benchmark", "created_unix", "sections", "fft_backend",

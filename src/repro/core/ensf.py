@@ -314,7 +314,18 @@ class EnSF(EnsembleFilter):
             work_observation = observation
 
         score_fn = self.posterior_score_fn(work_ensemble, work_observation, work_operator)
-        analysis = self.sampler.sample(score_fn, n_samples=n_samples, dim=dim, rng=rng)
+        # Pool the reverse-SDE noise draws (batched generation + background
+        # refill, bit-identical to direct draws) whenever the sampler owns
+        # the stream for the whole integration.  A minibatched score draws
+        # its subsets from the same rng *between* noise draws, so pooling
+        # would reorder the stream — leave it direct in that mode.
+        analysis = self.sampler.sample(
+            score_fn,
+            n_samples=n_samples,
+            dim=dim,
+            rng=rng,
+            noise_pool=self.config.minibatch is None,
+        )
         if scaler is not None:
             analysis = scaler.inverse(analysis)
         return analysis

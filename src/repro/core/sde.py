@@ -36,8 +36,8 @@ from typing import Callable
 import numpy as np
 
 from repro.core.schedules import LinearAlphaSchedule
-from repro.utils.random import default_rng
-from repro.utils.xp import ArrayBackend, resolve_backend
+from repro.utils.random import NoisePool, default_rng, noise_pool_blocks
+from repro.utils.xp import ArrayBackend, device_rng_mode, resolve_backend
 
 __all__ = ["ReverseSDESampler"]
 
@@ -103,6 +103,7 @@ class ReverseSDESampler:
         rng: np.random.Generator | int | None = None,
         initial: np.ndarray | None = None,
         return_trajectory: bool = False,
+        noise_pool: bool = False,
     ) -> np.ndarray:
         """Generate samples of the target distribution.
 
@@ -121,24 +122,53 @@ class ReverseSDESampler:
         return_trajectory:
             When ``True`` the full pseudo-time trajectory (``n_steps + 1``
             snapshots) is returned instead of only the final state.
+        noise_pool:
+            When ``True``, route the host Gaussian draws through a
+            :class:`~repro.utils.random.NoisePool` sized to exactly the
+            draws this call makes — batched generation refilled on a
+            background thread ahead of the Euler loop, bit-identical to the
+            direct per-step draws (``REPRO_NOISE_POOL=0`` disables).  Only
+            safe when nothing else draws from ``rng`` during the
+            integration (in particular the score function must not); the
+            pool is bypassed whenever the backend generates natively
+            on-device (``REPRO_DEVICE_RNG=device``), where the host stream
+            is not the draw source.
         """
         rng = default_rng(rng)
         xp = self.xp
-        if initial is None:
-            # Initial Z_T lands directly in a device buffer via the backend
-            # RNG hook (host-parity bits by default; native device draws
-            # under REPRO_DEVICE_RNG=device).
-            z = xp.standard_normal(rng, size=(n_samples, dim))
-        else:
-            host = np.array(initial, dtype=float, copy=True)
-            if host.shape != (n_samples, dim):
-                raise ValueError(f"initial shape {host.shape} != {(n_samples, dim)}")
-            z = xp.to_device(host)
+        n_draws = (1 if initial is None else 0) + (self.n_steps if self.stochastic else 0)
+        pool: NoisePool | None = None
+        draw_rng = rng
+        if (
+            noise_pool
+            and n_draws > 1
+            and (xp.device == "cpu" or device_rng_mode() == "host-parity")
+        ):
+            chunk = noise_pool_blocks()
+            if chunk > 0:
+                pool = NoisePool(rng, (n_samples, dim), n_draws, chunk_blocks=chunk)
+                draw_rng = pool
+        try:
+            if initial is None:
+                # Initial Z_T lands directly in a device buffer via the backend
+                # RNG hook (host-parity bits by default; native device draws
+                # under REPRO_DEVICE_RNG=device).
+                z = xp.standard_normal(draw_rng, size=(n_samples, dim))
+            else:
+                host = np.array(initial, dtype=float, copy=True)
+                if host.shape != (n_samples, dim):
+                    raise ValueError(f"initial shape {host.shape} != {(n_samples, dim)}")
+                z = xp.to_device(host)
 
-        grid = self.schedule.time_grid(self.n_steps, t_end=self.t_end, t_start=self.t_start)
-        trajectory = [xp.to_host(z).copy()] if return_trajectory else None
+            grid = self.schedule.time_grid(
+                self.n_steps, t_end=self.t_end, t_start=self.t_start
+            )
+            trajectory = [xp.to_host(z).copy()] if return_trajectory else None
 
-        self._integrate_buffered(score_fn, z, grid, rng, trajectory)
+            self._integrate_buffered(score_fn, z, grid, draw_rng, trajectory)
+        finally:
+            if pool is not None:
+                pool.close()
         z = xp.to_host(z)
 
         if return_trajectory:

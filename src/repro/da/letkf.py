@@ -77,6 +77,8 @@ def solve_local_batch(
     local_pert: np.ndarray,
     local_mean: np.ndarray,
     xp: ArrayBackend | None = None,
+    eigh_block: int | None = None,
+    solve_rank: int | None = None,
 ) -> np.ndarray:
     """Solve a stack of local ETKF problems.
 
@@ -99,14 +101,58 @@ def solve_local_batch(
         Array backend the inputs live on (``None`` = the process default).
         All arithmetic — the stacked ``eigh`` included — runs on that
         backend; the numpy backend is bit-identical to the pre-shim kernel.
+    eigh_block:
+        ``None`` solves the whole stack monolithically.  A positive value
+        partitions the stack into contiguous batches of at most this many
+        columns and solves batch-by-batch into a preallocated output, so
+        the eigen-workspace and matmul temporaries stay cache-sized at
+        paper-scale footprints (256² = 65536 columns).  **Bit-identical**
+        to the monolithic solve for every block size — per-column problems
+        are independent (see :meth:`ArrayBackend.stacked_eigh`).
+    solve_rank:
+        ``None`` (default) applies the full symmetric-root transform.  A
+        positive value ``r < m`` switches to the truncated solve: only the
+        top-``r`` eigenpairs of the local system carry the update, the
+        orthogonal complement is treated at the prior eigenvalue ``m - 1``
+        (i.e. the localized Gram matrix is rank-``r`` approximated).  This
+        **changes the arithmetic** — opt-in for throughput studies; the
+        weight-application cost drops from O(m²) to O(m·r) per column.
+        ``r >= m`` falls back to the exact full-rank path.
 
     Returns
     -------
     Local analysis states, shape ``(B, nlev, m)`` (member axis last).
     """
     xp = resolve_backend(xp)
+    n_stack = a_stack.shape[0]
+    if eigh_block is not None and int(eigh_block) < 1:
+        raise ValueError("eigh_block must be positive")
+    if eigh_block is not None and int(eigh_block) < n_stack:
+        # Blocked path: identical per-column arithmetic over contiguous
+        # sub-stacks, written into one preallocated output.
+        eigh_block = int(eigh_block)
+        analysis = xp.empty(local_pert.shape)
+        for start in range(0, n_stack, eigh_block):
+            stop = min(start + eigh_block, n_stack)
+            analysis[start:stop] = solve_local_batch(
+                a_stack[start:stop],
+                c_innov[start:stop],
+                local_pert[start:stop],
+                local_mean[start:stop],
+                xp,
+                solve_rank=solve_rank,
+            )
+        return analysis
+
     n_members = a_stack.shape[-1]
-    evals, evecs = xp.eigh(a_stack)
+    if solve_rank is not None and int(solve_rank) < 1:
+        raise ValueError("solve_rank must be positive")
+    if solve_rank is not None and int(solve_rank) < n_members:
+        return _solve_truncated(
+            a_stack, c_innov, local_pert, local_mean, int(solve_rank), xp
+        )
+
+    evals, evecs = xp.stacked_eigh(a_stack)
     xp.maximum(evals, 1.0e-12, out=evals)
 
     # Mean-update weights: w̄ = A⁻¹ C δy = E (Eᵀ C δy / λ).
@@ -118,6 +164,51 @@ def solve_local_batch(
     v = xp.matmul(local_pert, evecs)
     v *= xp.sqrt((n_members - 1) / evals)[:, None, :]
     analysis = xp.matmul(v, xp.ascontiguousarray(evecs.transpose(0, 2, 1)))
+    analysis += xp.matmul(local_pert, w_mean[:, :, None])
+    analysis += local_mean[:, :, None]
+    return analysis
+
+
+def _solve_truncated(
+    a_stack: np.ndarray,
+    c_innov: np.ndarray,
+    local_pert: np.ndarray,
+    local_mean: np.ndarray,
+    rank: int,
+    xp: ArrayBackend,
+) -> np.ndarray:
+    """Rank-``r`` truncated local solve (changes arithmetic; opt-in).
+
+    The local system is ``A = (m-1) I + Q`` with ``Q`` PSD, so every
+    eigenvalue is ``>= m - 1``.  Keeping only the top-``r`` eigenpairs
+    ``(λ_r, E_r)`` and treating the complement at the prior eigenvalue
+    ``m - 1`` (a rank-``r`` approximation of ``Q``) gives closed forms that
+    never materialise the complement basis:
+
+    * mean weights  ``w̄ = E_r (E_rᵀ c / λ_r) + (c - E_r E_rᵀ c) / (m-1)``
+    * perturbations ``Xᵃ = X + (X E_r) diag(√((m-1)/λ_r) - 1) E_rᵀ``
+
+    (the complement's symmetric-root factor ``√((m-1)/(m-1)) = 1`` leaves
+    those directions untouched).  Cost: one stacked ``eigh`` plus
+    O(m·r)-per-column matmuls instead of O(m²).
+    """
+    n_members = a_stack.shape[-1]
+    evals, evecs = xp.stacked_eigh(a_stack)
+    xp.maximum(evals, 1.0e-12, out=evals)
+    # eigh returns ascending eigenvalues: the top-r pairs are the last r.
+    lam_r = evals[:, -rank:]
+    e_r = xp.ascontiguousarray(evecs[:, :, -rank:])  # (B, m, r)
+    e_r_t = xp.ascontiguousarray(e_r.transpose(0, 2, 1))  # (B, r, m)
+
+    # Mean-update weights.
+    u_r = xp.einsum("bji,bj->bi", e_r, c_innov)  # E_rᵀ c, (B, r)
+    w_mean = xp.matmul(e_r, (u_r / lam_r)[:, :, None])[..., 0]
+    w_mean += (c_innov - xp.matmul(e_r, u_r[:, :, None])[..., 0]) / (n_members - 1)
+
+    # Perturbation transform.
+    xe = xp.matmul(local_pert, e_r)  # (B, nlev, r)
+    xe *= (xp.sqrt((n_members - 1) / lam_r) - 1.0)[:, None, :]
+    analysis = local_pert + xp.matmul(xe, e_r_t)
     analysis += xp.matmul(local_pert, w_mean[:, :, None])
     analysis += local_mean[:, :, None]
     return analysis
@@ -154,14 +245,24 @@ def _solve_shard_convolution(args) -> np.ndarray:
     moves back once) — the per-column work inside never touches the host,
     which the mock-device transfer counters assert in the tests.
     """
-    conv_block, local_pert, local_mean, backend = args
+    conv_block, local_pert, local_mean, backend, eigh_block, solve_rank = args
     xp = resolve_backend(backend)
     conv_block = xp.to_device(conv_block)
     local_pert = xp.to_device(local_pert)
     local_mean = xp.to_device(local_mean)
     n_members = local_pert.shape[-1]
     a_stack, c_innov = _assemble_from_conv(conv_block, n_members, xp)
-    return xp.to_host(solve_local_batch(a_stack, c_innov, local_pert, local_mean, xp))
+    return xp.to_host(
+        solve_local_batch(
+            a_stack,
+            c_innov,
+            local_pert,
+            local_mean,
+            xp,
+            eigh_block=eigh_block,
+            solve_rank=solve_rank,
+        )
+    )
 
 
 def _solve_shard_grouped(args) -> np.ndarray:
@@ -174,7 +275,7 @@ def _solve_shard_grouped(args) -> np.ndarray:
     once per shard input (plus once per footprint group for the precomputed
     geometry tensors) — never inside the per-column batch loop.
     """
-    block, y_sub_t, innov_sub, local_pert, local_mean, max_batch, backend = args
+    block, y_sub_t, innov_sub, local_pert, local_mean, max_batch, backend, eigh_block, solve_rank = args
     xp = resolve_backend(backend)
     y_sub_t = xp.to_device(y_sub_t)
     innov_sub = xp.to_device(innov_sub)
@@ -200,7 +301,13 @@ def _solve_shard_grouped(args) -> np.ndarray:
             a_stack[:, diag, diag] += n_members - 1
             c_innov = xp.einsum("bpm,bp->bm", q, sqrt_r * innov_sub[idx])
             analysis[cols] = solve_local_batch(
-                a_stack, c_innov, local_pert[cols], local_mean[cols], xp
+                a_stack,
+                c_innov,
+                local_pert[cols],
+                local_mean[cols],
+                xp,
+                eigh_block=eigh_block,
+                solve_rank=solve_rank,
             )
     return xp.to_host(analysis)
 
@@ -232,6 +339,19 @@ class LETKFConfig:
         (``None`` = the ``REPRO_ARRAY_BACKEND`` process default).  The
         numpy backend is bit-identical to the pre-shim kernels; the name is
         what ships to pool workers, which resolve their own backend handle.
+    eigh_block:
+        ``None`` (default) runs the per-column eigen-solve/weight stage
+        monolithically over each assembled stack.  A positive value blocks
+        that stage into batches of at most this many columns (see
+        :func:`solve_local_batch`) — bounds the peak eigen-workspace and
+        matmul temporaries at paper-scale footprints, **bit-identical** to
+        the monolithic solve for every value, serial and sharded.
+    solve_rank:
+        Opt-in truncated local solve: keep only the top-``solve_rank``
+        eigenpairs of each local system and treat the complement at the
+        prior eigenvalue (see :func:`solve_local_batch`).  **Changes the
+        arithmetic** — default ``None`` (exact); values ``>= m`` also fall
+        back to the exact path.
     """
 
     localization: LocalizationConfig = field(default_factory=LocalizationConfig)
@@ -240,6 +360,8 @@ class LETKFConfig:
     block_columns: int = 512
     shard_columns: int = 1024
     backend: str | None = None
+    eigh_block: int | None = None
+    solve_rank: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rtps_factor <= 1.0:
@@ -250,6 +372,10 @@ class LETKFConfig:
             raise ValueError("block_columns must be positive")
         if self.shard_columns < 1:
             raise ValueError("shard_columns must be positive")
+        if self.eigh_block is not None and self.eigh_block < 1:
+            raise ValueError("eigh_block must be positive or None")
+        if self.solve_rank is not None and self.solve_rank < 1:
+            raise ValueError("solve_rank must be positive or None")
 
 
 class LETKF(EnsembleFilter):
@@ -449,6 +575,8 @@ class LETKF(EnsembleFilter):
                     local_pert[a:b],
                     local_mean[a:b],
                     backend_name,
+                    self.config.eigh_block,
+                    self.config.solve_rank,
                 )
                 for a, b in bounds
             ]
@@ -467,6 +595,8 @@ class LETKF(EnsembleFilter):
                         local_mean[a:b],
                         self.config.block_columns,
                         backend_name,
+                        self.config.eigh_block,
+                        self.config.solve_rank,
                     )
                 )
             results = executor.map_blocks(_solve_shard_grouped, jobs)
@@ -512,7 +642,15 @@ class LETKF(EnsembleFilter):
         )
         local_mean = xp.to_device(x_mean.reshape(n_levels, n_columns).T)
         analysis_t = xp.to_host(
-            solve_local_batch(a_stack, c_innov, local_pert, local_mean, xp)
+            solve_local_batch(
+                a_stack,
+                c_innov,
+                local_pert,
+                local_mean,
+                xp,
+                eigh_block=self.config.eigh_block,
+                solve_rank=self.config.solve_rank,
+            )
         )
         return np.ascontiguousarray(analysis_t.transpose(2, 1, 0)).reshape(
             n_members, n_levels * n_columns
@@ -622,7 +760,13 @@ class LETKF(EnsembleFilter):
                 local_pert = x_t[state_idx]  # (B, nlev, m), member axis last
                 local_mean = x_mean[state_idx]
                 analysis_t[state_idx] = solve_local_batch(
-                    a_stack, c_innov, local_pert, local_mean, xp
+                    a_stack,
+                    c_innov,
+                    local_pert,
+                    local_mean,
+                    xp,
+                    eigh_block=self.config.eigh_block,
+                    solve_rank=self.config.solve_rank,
                 )
         return xp.to_host(analysis)
 

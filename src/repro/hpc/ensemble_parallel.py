@@ -33,7 +33,13 @@ import numpy as np
 from repro.hpc.shm import HAVE_SHM, SharedPayloadArena, count_handles, resolve_payloads
 from repro.utils.faults import FaultInjected, FaultLog, FaultPlan
 
-__all__ = ["ensemble_slices", "EnsembleExecutor", "ExecutorLease", "ShardRetryError"]
+__all__ = [
+    "ensemble_slices",
+    "EnsembleExecutor",
+    "ExecutorLease",
+    "LeaseSlotScheduler",
+    "ShardRetryError",
+]
 
 # Failures worth recomputing the shard for: a dead worker pool, a shard that
 # blew its deadline, or an injected fault.  Anything else (a ValueError from
@@ -87,6 +93,142 @@ def ensemble_slices(n_members: int, n_workers: int) -> list[slice]:
         slices.append(slice(start, start + count))
         start += count
     return slices
+
+
+class LeaseSlotScheduler:
+    """Fair-share arbitration of one lease's pool slots across its gathers.
+
+    A lease's quota (``max_workers``) used to be enforced per *gather*:
+    each concurrent ``_gather`` independently windowed its submissions to
+    the quota, so a job running two gathers at once (e.g. a forecast map
+    overlapping an analysis map) competed for its own slots first-come,
+    first-served — one long gather could hold every slot until it drained.
+    This scheduler is shared by all of a lease's gathers and round-robins
+    the quota instead:
+
+    - each gather registers on entry and releases one slot per completed
+      shard;
+    - a gather may take a slot while fewer than
+      ``ceil(capacity / n_demanding)`` are in its hands (its **fair
+      share** among the gathers currently asking for slots), so a
+      newly-arrived sibling reaches its share as the incumbent's shards
+      complete — no preemption, just refusal to re-acquire beyond the
+      share while someone else is hungry;
+    - a gather with nothing in flight blocks for a slot, and blocked
+      gathers hold **priority**: non-blocking re-acquires defer to the
+      FIFO of waiters, so an incumbent that merely got to the freed slot
+      first (its thread is already running; the waiter still has to wake)
+      cannot win every race and starve the sibling anyway;
+    - with no hungry sibling the whole remaining capacity is grantable, so
+      a lone gather is exactly as fast as under the old windowing.
+
+    ``capacity`` is live-retargetable (the experiment service's fair-share
+    re-arbitration assigns ``lease.max_workers``); ``None`` means
+    unconstrained.  The scheduler only ever caps *concurrency* — job
+    decompositions are fixed before submission — so scheduling cannot
+    change results, only occupancy.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and int(capacity) < 1:
+            raise ValueError("capacity must be positive (or None)")
+        self._capacity = None if capacity is None else int(capacity)
+        self._cond = threading.Condition()
+        self._held: dict[int, int] = {}  # gather token -> slots held
+        self._want: dict[int, bool] = {}  # gather token -> has queued work
+        self._waiters: list[int] = []  # FIFO of gathers blocked in acquire()
+        self._next_token = 0
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: int | None) -> None:
+        if value is not None and int(value) < 1:
+            raise ValueError("capacity must be positive (or None)")
+        with self._cond:
+            self._capacity = None if value is None else int(value)
+            self._cond.notify_all()
+
+    def register(self) -> int:
+        """Enter a gather; returns its token for acquire/release calls."""
+        with self._cond:
+            token = self._next_token
+            self._next_token += 1
+            self._held[token] = 0
+            self._want[token] = True
+            return token
+
+    def unregister(self, token: int) -> None:
+        """Leave a gather, releasing every slot it still holds."""
+        with self._cond:
+            self._held.pop(token, None)
+            self._want.pop(token, None)
+            self._cond.notify_all()
+
+    def set_demand(self, token: int, wants_more: bool) -> None:
+        """Record whether ``token`` still has queued shards (drives shares)."""
+        with self._cond:
+            if token in self._want and self._want[token] != wants_more:
+                self._want[token] = bool(wants_more)
+                self._cond.notify_all()
+
+    def _may_take(self, token: int) -> bool:
+        cap = self._capacity
+        if cap is None:
+            return True
+        if sum(self._held.values()) >= cap:
+            return False
+        hungry_others = sum(
+            1 for t, w in self._want.items() if w and t != token
+        )
+        if not hungry_others:
+            return True
+        share = -(-cap // (hungry_others + 1))  # ceil: remainder slots stay usable
+        return self._held[token] < share
+
+    def try_acquire(self, token: int) -> bool:
+        """Take one slot if fair-share allows it right now (non-blocking).
+
+        Defers unconditionally to blocked waiters: a gather that already
+        has shards in flight must not outrace a starved sibling to a freed
+        slot just because its thread happened to be scheduled first.
+        """
+        with self._cond:
+            if self._waiters or not self._may_take(token):
+                return False
+            self._held[token] += 1
+            return True
+
+    def acquire(self, token: int, timeout: float | None = None) -> bool:
+        """Block (up to ``timeout``) for one slot; the gather's progress path.
+
+        Only called when a gather has nothing in flight — it must hold at
+        least one slot to make progress, and its fair share is always
+        ``>= 1``, so it is granted as soon as siblings' completions free
+        capacity.  Waiters are served in FIFO order.
+        """
+        with self._cond:
+            self._waiters.append(token)
+            try:
+                granted = self._cond.wait_for(
+                    lambda: self._waiters[0] == token and self._may_take(token),
+                    timeout=timeout,
+                )
+                if granted:
+                    self._held[token] += 1
+                return granted
+            finally:
+                self._waiters.remove(token)
+                self._cond.notify_all()  # the next waiter is now at the head
+
+    def release(self, token: int) -> None:
+        """Give back one slot (one per completed shard)."""
+        with self._cond:
+            if token in self._held and self._held[token] > 0:
+                self._held[token] -= 1
+                self._cond.notify_all()
 
 
 def _forecast_chunk(args):
@@ -286,22 +428,31 @@ class EnsembleExecutor:
         self, fn, jobs, results, pending, faults, workers, fault_log,
         max_slots=None, on_success=None,
     ):
-        """One pool attempt over ``pending``, holding ≤ ``max_slots`` in flight.
+        """One pool attempt over ``pending``, in-flight capped by ``max_slots``.
 
-        Submission is **windowed**: at most ``min(workers, max_slots)``
-        futures exist at any instant, and a new shard is only submitted when
-        one completes.  This is what makes a lease quota real — merely
-        capping the submit batch would still let queued futures spread over
-        every pool process — while leaving the job decomposition (and hence
-        the results) untouched.  ``task_deadline_s`` bounds the whole
-        attempt; if it expires with shards still running they are treated as
-        hung exactly as before.  ``on_success`` fires per completed shard
-        (the gather uses it to release that shard's shared-memory payloads
-        early).
+        Submission is slot-arbitrated: a shard is only submitted after the
+        gather takes a slot from its :class:`LeaseSlotScheduler` (and one is
+        given back per completed shard), so at most the lease's quota of
+        futures exist at any instant no matter how many of the lease's
+        gathers run concurrently — merely capping the submit batch would
+        still let queued futures spread over every pool process.
+        ``max_slots`` may be the lease's shared scheduler (its concurrent
+        gathers then round-robin the quota instead of competing first-come,
+        first-served), an int (a private single-gather window, the
+        pre-scheduler behaviour), or ``None`` (unconstrained).  The job
+        decomposition — and hence the results — is never touched.
+        ``task_deadline_s`` bounds the whole attempt; if it expires with
+        shards still running they are treated as hung exactly as before.
+        ``on_success`` fires per completed shard (the gather uses it to
+        release that shard's shared-memory payloads early).
         """
         pool = self._acquire_pool(workers)
         parent_pid = os.getpid()
-        window = max(1, min(workers, max_slots if max_slots else workers))
+        if isinstance(max_slots, LeaseSlotScheduler):
+            slots = max_slots
+        else:
+            slots = LeaseSlotScheduler(max_slots if max_slots else None)
+        token = slots.register()
         failed, error = [], None
         broken = hung = False
         inflight: dict = {}
@@ -310,49 +461,76 @@ class EnsembleExecutor:
             None if self.task_deadline_s is None
             else time.monotonic() + self.task_deadline_s
         )
-        while queue or inflight:
-            while queue and not broken and len(inflight) < window:
-                try:
-                    fut = pool.submit(
-                        _guarded_call, fn, jobs[queue[0]], faults.get(queue[0]), parent_pid
+        try:
+            while queue or inflight:
+                while queue and not broken and len(inflight) < workers:
+                    if not slots.try_acquire(token):
+                        if inflight:
+                            break  # drain: completions free slots for everyone
+                        # Nothing in flight — block for one slot so the gather
+                        # always makes progress (its fair share is >= 1).
+                        timeout = (
+                            None if deadline is None
+                            else max(0.0, deadline - time.monotonic())
+                        )
+                        if not slots.acquire(token, timeout=timeout):
+                            # Starved past the attempt deadline: fail the
+                            # remaining shards for retry.  The pool is fine —
+                            # no rebuild, unlike a genuine hang.
+                            error = TimeoutError(
+                                f"gather starved of lease slots past the "
+                                f"{self.task_deadline_s}s task deadline"
+                            )
+                            fault_log.record("executor", "slot-starvation", str(error))
+                            failed.extend(queue)
+                            queue = []
+                            break
+                    try:
+                        fut = pool.submit(
+                            _guarded_call, fn, jobs[queue[0]], faults.get(queue[0]), parent_pid
+                        )
+                    except (BrokenProcessPool, RuntimeError) as exc:
+                        slots.release(token)
+                        broken, error = True, exc
+                        break
+                    inflight[fut] = queue.pop(0)
+                slots.set_demand(token, bool(queue) and not broken)
+                if not inflight:
+                    break  # pool broke (or slots starved) with nothing submitted
+                timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
+                done, not_done = wait(set(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+                if not done:
+                    hung = True
+                    failed.extend(inflight.values())
+                    inflight.clear()
+                    error = TimeoutError(
+                        f"{len(not_done)} shard(s) exceeded the "
+                        f"{self.task_deadline_s}s task deadline"
                     )
-                except (BrokenProcessPool, RuntimeError) as exc:
-                    broken, error = True, exc
+                    fault_log.record("executor", "deadline-kill", str(error))
                     break
-                inflight[fut] = queue.pop(0)
-            if not inflight:
-                break  # pool broke before anything (else) could be submitted
-            timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
-            done, not_done = wait(set(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
-            if not done:
-                hung = True
-                failed.extend(inflight.values())
-                inflight.clear()
-                error = TimeoutError(
-                    f"{len(not_done)} shard(s) exceeded the "
-                    f"{self.task_deadline_s}s task deadline"
-                )
-                fault_log.record("executor", "deadline-kill", str(error))
-                break
-            for fut in done:
-                idx = inflight.pop(fut)
-                exc = fut.exception()
-                if exc is None:
-                    results[idx] = fut.result()
-                    if on_success is not None:
-                        on_success(idx)
-                elif isinstance(exc, _RETRYABLE):
-                    failed.append(idx)
-                    error = exc
-                    broken = broken or isinstance(exc, BrokenProcessPool)
-                else:
-                    # A genuine job-function error: not the executor's to heal.
-                    if not self.reuse_pool:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                    raise exc
-            # A broken pool fails its remaining futures promptly, so the loop
-            # keeps draining `inflight` without submitting anything new.
-        failed.extend(queue)  # never submitted (pool broke first)
+                for fut in done:
+                    idx = inflight.pop(fut)
+                    slots.release(token)
+                    exc = fut.exception()
+                    if exc is None:
+                        results[idx] = fut.result()
+                        if on_success is not None:
+                            on_success(idx)
+                    elif isinstance(exc, _RETRYABLE):
+                        failed.append(idx)
+                        error = exc
+                        broken = broken or isinstance(exc, BrokenProcessPool)
+                    else:
+                        # A genuine job-function error: not the executor's to heal.
+                        if not self.reuse_pool:
+                            pool.shutdown(wait=False, cancel_futures=True)
+                        raise exc
+                # A broken pool fails its remaining futures promptly, so the loop
+                # keeps draining `inflight` without submitting anything new.
+            failed.extend(queue)  # never submitted (pool broke first)
+        finally:
+            slots.unregister(token)  # returns any slots still held
         if broken or hung:
             self._discard_pool(pool, hung=hung)
             fault_log.record(
@@ -730,6 +908,10 @@ class ExecutorLease:
       job decomposition is fixed before submission — so any quota yields
       bit-identical results, and the service re-targets it live
       (fair-share re-arbitration simply assigns ``lease.max_workers``).
+      The quota is arbitrated by a single :class:`LeaseSlotScheduler`
+      shared across the lease's concurrent gathers, which round-robins the
+      slots by fair share — one long gather can no longer starve a sibling
+      gather of the same job for its whole duration.
 
     ``close()`` releases the lease: the shared pool stays up (it belongs to
     the parent and outlives any one job), but the parent's ``active_leases``
@@ -752,9 +934,22 @@ class ExecutorLease:
         self.job = str(job)
         self.fault_log = fault_log if fault_log is not None else FaultLog()
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
-        self.max_workers = None if max_workers is None else int(max_workers)
+        # One scheduler per lease: every gather of this job arbitrates its
+        # in-flight shards through it (see LeaseSlotScheduler).
+        self._slots = LeaseSlotScheduler(None if max_workers is None else int(max_workers))
         self._closed = False
         parent._lease_opened()
+
+    @property
+    def max_workers(self) -> int | None:
+        """The lease's pool-slot quota (live-retargetable; ``None`` = no cap)."""
+        return self._slots.capacity
+
+    @max_workers.setter
+    def max_workers(self, value: int | None) -> None:
+        if value is not None and int(value) < 1:
+            raise ValueError("max_workers must be positive (or None)")
+        self._slots.capacity = None if value is None else int(value)
 
     @property
     def parent(self) -> EnsembleExecutor:
@@ -767,13 +962,13 @@ class ExecutorLease:
     def map_blocks(self, fn, jobs: list) -> list:
         return self._parent.map_blocks(
             fn, jobs,
-            fault_log=self.fault_log, fault_plan=self.fault_plan, max_slots=self.max_workers,
+            fault_log=self.fault_log, fault_plan=self.fault_plan, max_slots=self._slots,
         )
 
     def map_states(self, model, ensemble: np.ndarray, n_steps: int = 1) -> np.ndarray:
         return self._parent.map_states(
             model, ensemble, n_steps,
-            fault_log=self.fault_log, fault_plan=self.fault_plan, max_slots=self.max_workers,
+            fault_log=self.fault_log, fault_plan=self.fault_plan, max_slots=self._slots,
         )
 
     def analyze_ensf(self, filter_, forecast_ensemble, observation, operator, seed=0):
@@ -785,7 +980,7 @@ class ExecutorLease:
             seed,
             fault_log=self.fault_log,
             fault_plan=self.fault_plan,
-            max_slots=self.max_workers,
+            max_slots=self._slots,
         )
 
     def close(self) -> None:

@@ -11,7 +11,11 @@ import pytest
 from repro.hpc.collectives import CollectiveKind, CollectiveModel
 from repro.hpc.comm import LocalCommGroup
 from repro.hpc.ddp import DataParallel, bucketize
-from repro.hpc.ensemble_parallel import EnsembleExecutor, ensemble_slices
+from repro.hpc.ensemble_parallel import (
+    EnsembleExecutor,
+    LeaseSlotScheduler,
+    ensemble_slices,
+)
 from repro.hpc.fsdp import FSDPParallel
 from repro.hpc.gemm import GEMMPerformanceModel, vit_achieved_tflops
 from repro.hpc.memory import STRATEGY_TABLE, ShardingStrategy, TrainingMemoryModel
@@ -835,6 +839,98 @@ class TestLeaseQuotas:
             lease.max_workers = 1  # the service re-targets quotas live
             assert lease.max_workers == 1
             lease.close()
+
+    def test_slot_scheduler_fair_share_and_waiter_priority(self):
+        """Deterministic scheduler semantics, no pool involved."""
+        sched = LeaseSlotScheduler(4)
+        a, b = sched.register(), sched.register()
+        # Lone demander takes the whole capacity...
+        sched.set_demand(b, False)
+        assert all(sched.try_acquire(a) for _ in range(4))
+        assert not sched.try_acquire(a)  # capacity exhausted
+        # ...until a sibling demands: then ceil(4/2)=2 is a's share, so a
+        # cannot re-acquire past it while b is hungry, and b climbs to its
+        # share as a's shards complete.
+        sched.set_demand(b, True)
+        sched.release(a)
+        sched.release(a)
+        assert not sched.try_acquire(a)  # a holds 2 == its share, b hungry
+        assert sched.try_acquire(b)
+        assert sched.try_acquire(b)
+        assert not sched.try_acquire(b)  # capacity full again
+        # Demand withdrawal restores the whole capacity to the survivor.
+        sched.unregister(b)
+        assert sched.try_acquire(a) and sched.try_acquire(a)
+        # Live retarget: capacity 1 refuses new grants until slots drain.
+        sched.capacity = 1
+        assert not sched.try_acquire(a)
+        sched.unregister(a)
+
+        # Waiter priority: a blocked gather beats a busy one to a freed slot.
+        sched = LeaseSlotScheduler(1)
+        busy, starved = sched.register(), sched.register()
+        assert sched.try_acquire(busy)
+        got = []
+        waiter = threading.Thread(target=lambda: got.append(sched.acquire(starved, timeout=10)))
+        waiter.start()
+        for _ in range(100):  # let the waiter enqueue
+            if sched._waiters:
+                break
+            time.sleep(0.01)
+        sched.release(busy)
+        assert not sched.try_acquire(busy)  # defers to the queued waiter
+        waiter.join(timeout=10)
+        assert got == [True]
+        sched.unregister(busy)
+        sched.unregister(starved)
+
+    def test_sibling_gathers_round_robin_one_lease_quota(self):
+        """Two concurrent gathers of ONE lease share its quota: the lease-wide
+        cap holds across both (their shard executions never overlap under
+        max_workers=1 — per-gather windowing would have run 1+1 concurrently),
+        and the late gather's shards interleave with the long gather's queued
+        work instead of waiting for it to drain."""
+        long_jobs = [(i, 0.15) for i in range(4)]
+        late_jobs = [(20 + i, 0.15) for i in range(2)]
+        with EnsembleExecutor(n_workers=2, min_members_per_worker=1) as ex:
+            lease = ex.lease(job="shared", max_workers=1)
+            results = {}
+            barrier = threading.Barrier(2)
+
+            def run(name, jobs, delay):
+                barrier.wait()
+                time.sleep(delay)
+                results[name] = lease.map_blocks(_stamped_sleep, jobs)
+
+            threads = [
+                threading.Thread(target=run, args=("long", long_jobs, 0.0)),
+                threading.Thread(target=run, args=("late", late_jobs, 0.1)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            lease.close()
+        assert set(results) == {"long", "late"}
+        # Lease-wide quota: across BOTH gathers, no two shards overlapped.
+        spans = sorted(
+            (r[2], r[3]) for rs in results.values() for r in rs
+        )
+        for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+            assert next_start >= prev_end
+        # Round-robin: the late gather got a slot while the long gather
+        # still had queued shards (first-come-first-served would drain all
+        # four long shards before the late gather's first).
+        long_starts = sorted(r[2] for r in results["long"])
+        late_first = min(r[2] for r in results["late"])
+        assert late_first < long_starts[-1]
+        # Exact results for both gathers.
+        assert [r[::4] for r in results["long"]] == [
+            (i, float(i) * 3.0 + 1.0) for i in range(4)
+        ]
+        assert [r[::4] for r in results["late"]] == [
+            (20 + i, float(20 + i) * 3.0 + 1.0) for i in range(2)
+        ]
 
 
 class TestSharedMemoryPayloads:

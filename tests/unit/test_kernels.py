@@ -22,7 +22,7 @@ from repro.core.schedules import LinearAlphaSchedule
 from repro.core.score import MonteCarloScoreEstimator
 from repro.core.sde import ReverseSDESampler
 from repro.da.cycling import OSSEConfig, run_osse
-from repro.da.letkf import LETKF, LETKFConfig
+from repro.da.letkf import LETKF, LETKFConfig, solve_local_batch
 from repro.da.localization import LocalAnalysisGeometry, LocalizationConfig
 from repro.models.lorenz96 import Lorenz96
 from repro.utils.grid import Grid2D
@@ -224,6 +224,132 @@ class TestShardedLETKF:
             geometry.column_block(5, 3)
 
 
+class TestBlockedEigh:
+    """Blocked stacked-eigh solve path.
+
+    Every local problem in the ``(B, m, m)`` stack is solved independently,
+    so partitioning the stack into cache-sized eig batches (``eigh_block``)
+    must be **bit-identical** to the monolithic solve for every block size
+    and through every analysis path (serial convolution/grouped, sharded).
+    The truncated rank-``r`` solve (``solve_rank``) is opt-in and changes
+    the arithmetic; ``r >= m`` must fall back to the exact path.
+    """
+
+    def _local_case(self, b=37, m=6, nlev=2, seed=0):
+        rng = np.random.default_rng(seed)
+        y = rng.standard_normal((b, m, 3))
+        a_stack = (m - 1) * np.eye(m)[None] + np.matmul(y, y.transpose(0, 2, 1))
+        c_innov = rng.standard_normal((b, m))
+        local_pert = rng.standard_normal((b, nlev, m))
+        local_mean = rng.standard_normal((b, nlev))
+        return a_stack, c_innov, local_pert, local_mean
+
+    @pytest.mark.parametrize("block", [1, 2, 5, 16, 36, 37, 38, 1000])
+    def test_solve_local_batch_blocked_bit_identical(self, block):
+        a, c, pert, mean = self._local_case()
+        mono = solve_local_batch(a, c, pert, mean)
+        np.testing.assert_array_equal(
+            solve_local_batch(a, c, pert, mean, eigh_block=block), mono
+        )
+
+    def test_stacked_eigh_block_sweep(self, array_backend):
+        xp = array_backend
+        a, *_ = self._local_case(b=23)
+        a_dev = xp.to_device(a)
+        evals0, evecs0 = xp.stacked_eigh(a_dev)
+        for block in (1, 4, 22, 23, 24, 1000):
+            evals, evecs = xp.stacked_eigh(a_dev, block=block)
+            np.testing.assert_array_equal(xp.to_host(evals), xp.to_host(evals0))
+            np.testing.assert_array_equal(xp.to_host(evecs), xp.to_host(evecs0))
+        with pytest.raises(ValueError):
+            xp.stacked_eigh(a_dev, block=0)
+
+    @pytest.mark.parametrize("block", [1, 5, 37, 100])
+    def test_truncated_solve_blocked_matches_monolithic(self, block):
+        a, c, pert, mean = self._local_case()
+        mono = solve_local_batch(a, c, pert, mean, solve_rank=3)
+        np.testing.assert_array_equal(
+            solve_local_batch(a, c, pert, mean, eigh_block=block, solve_rank=3), mono
+        )
+
+    def test_solve_rank_at_member_count_is_exact(self):
+        a, c, pert, mean = self._local_case()
+        exact = solve_local_batch(a, c, pert, mean)
+        for rank in (6, 17):  # r >= m: exact full-rank fallback
+            np.testing.assert_array_equal(
+                solve_local_batch(a, c, pert, mean, solve_rank=rank), exact
+            )
+        # below m the truncation is a genuine approximation — it must engage
+        truncated = solve_local_batch(a, c, pert, mean, solve_rank=5)
+        assert not np.array_equal(truncated, exact)
+        assert np.all(np.isfinite(truncated))
+
+    def test_solve_validation(self):
+        a, c, pert, mean = self._local_case(b=4)
+        with pytest.raises(ValueError):
+            solve_local_batch(a, c, pert, mean, eigh_block=0)
+        with pytest.raises(ValueError):
+            solve_local_batch(a, c, pert, mean, solve_rank=0)
+
+    @pytest.mark.parametrize("eigh_block", [1, 7, 64, 10_000])
+    def test_letkf_eigh_block_serial_bit_identical(self, eigh_block):
+        grid, rng, ensemble, truth = _case(seed=21)
+        var = 0.5 + rng.random(grid.size)
+        loc = LocalizationConfig(cutoff=4.0e6)
+        for operator, mode in (
+            (IdentityObservation(grid.size, 1.2), "convolution"),
+            (IdentityObservation(grid.size, var), "grouped"),
+        ):
+            observation = operator.observe(truth, rng=np.random.default_rng(2))
+            base = LETKF(grid, LETKFConfig(localization=loc)).analyze(
+                ensemble, observation, operator
+            )
+            letkf = LETKF(grid, LETKFConfig(localization=loc, eigh_block=eigh_block))
+            assert letkf.geometry(operator).mode == mode
+            np.testing.assert_array_equal(
+                letkf.analyze(ensemble, observation, operator), base
+            )
+
+    def test_letkf_eigh_block_sharded_bit_identical(self):
+        from repro.hpc.ensemble_parallel import EnsembleExecutor
+
+        grid, rng, ensemble, truth = _case(seed=22)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        loc = LocalizationConfig(cutoff=4.0e6)
+        plain = LETKF(grid, LETKFConfig(localization=loc, shard_columns=48))
+        blocked = LETKF(
+            grid, LETKFConfig(localization=loc, shard_columns=48, eigh_block=5)
+        )
+        with EnsembleExecutor(n_workers=1) as ex:
+            a = plain.analyze_parallel(ensemble, observation, operator, executor=ex)
+            b = blocked.analyze_parallel(ensemble, observation, operator, executor=ex)
+        np.testing.assert_array_equal(b, a)
+
+    def test_letkf_config_validation_and_rank_fallback(self):
+        with pytest.raises(ValueError):
+            LETKFConfig(eigh_block=0)
+        with pytest.raises(ValueError):
+            LETKFConfig(solve_rank=0)
+        grid, rng, ensemble, truth = _case(seed=23)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        loc = LocalizationConfig(cutoff=4.0e6)
+        exact = LETKF(grid, LETKFConfig(localization=loc)).analyze(
+            ensemble, observation, operator
+        )
+        # ensemble has 12 members: rank 12 falls back to the exact solve
+        fallback = LETKF(grid, LETKFConfig(localization=loc, solve_rank=12)).analyze(
+            ensemble, observation, operator
+        )
+        np.testing.assert_array_equal(fallback, exact)
+        truncated = LETKF(grid, LETKFConfig(localization=loc, solve_rank=4)).analyze(
+            ensemble, observation, operator
+        )
+        assert not np.array_equal(truncated, exact)
+        assert np.all(np.isfinite(truncated))
+
+
 class TestGeometryCache:
     def _counting(self, monkeypatch):
         calls = {"n": 0}
@@ -350,6 +476,80 @@ class TestFusedScorePath:
         np.testing.assert_array_equal(
             final, sampler.sample(lambda z, t: -z, 4, 2, rng=0)
         )
+
+
+class TestPooledNoiseParity:
+    """NoisePool integration with the reverse-SDE loop.
+
+    Pooled draws must be bit-identical to the direct per-step generator
+    draws — with identical random-stream consumption — for every chunk size
+    (``REPRO_NOISE_POOL``), on every backend (host-parity staging sees one
+    call per block, exactly as before), and in both the shared-stream and
+    member-seeded EnSF modes.
+    """
+
+    def test_pooled_sampler_matches_unpooled(self, array_backend, monkeypatch):
+        schedule = LinearAlphaSchedule()
+        score = lambda z, t: -z
+        sampler = ReverseSDESampler(schedule, n_steps=25)
+        rng_a = default_rng(5)
+        base = sampler.sample(score, 6, 4, rng=rng_a)
+        # "0" disables pooling even when the caller opts in; nonzero values
+        # pool with that chunk length — all bit-identical, with the source
+        # stream left in exactly the unpooled end state.
+        for chunk in ("0", "1", "3", "1000"):
+            monkeypatch.setenv("REPRO_NOISE_POOL", chunk)
+            rng_b = default_rng(5)
+            pooled = sampler.sample(score, 6, 4, rng=rng_b, noise_pool=True)
+            np.testing.assert_array_equal(pooled, base)
+            assert rng_b.bit_generator.state == rng_a.bit_generator.state
+
+    def test_pooled_ensf_analysis_matches_unpooled(self, monkeypatch):
+        grid, rng, ensemble, truth = _case(seed=31, members=10)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        monkeypatch.setenv("REPRO_NOISE_POOL", "0")
+        unpooled_filter = EnSF(EnSFConfig(n_sde_steps=20), rng=13)
+        unpooled = unpooled_filter.analyze(ensemble, observation, operator)
+        monkeypatch.setenv("REPRO_NOISE_POOL", "3")
+        pooled_filter = EnSF(EnSFConfig(n_sde_steps=20), rng=13)
+        pooled = pooled_filter.analyze(ensemble, observation, operator)
+        assert (
+            pooled_filter.rng.bit_generator.state
+            == unpooled_filter.rng.bit_generator.state
+        )
+        np.testing.assert_array_equal(pooled, unpooled)
+
+    def test_pooled_member_seeded_analysis_matches_unpooled(self, monkeypatch):
+        grid, rng, ensemble, truth = _case(seed=32, members=6)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        seeds = np.random.SeedSequence(8).spawn(6)
+        filt = EnSF(EnSFConfig(n_sde_steps=12), rng=0)
+        monkeypatch.setenv("REPRO_NOISE_POOL", "0")
+        unpooled = filt.analyze_members(
+            ensemble, observation, operator, member_seeds=seeds
+        )
+        monkeypatch.setenv("REPRO_NOISE_POOL", "4")
+        pooled = filt.analyze_members(
+            ensemble, observation, operator, member_seeds=seeds
+        )
+        np.testing.assert_array_equal(pooled, unpooled)
+
+    def test_minibatch_filter_bypasses_pool_and_reproduces(self):
+        """Minibatched score draws interleave with noise draws on the same
+        stream, so the EnSF never pools them — the run must still reproduce
+        itself exactly under the default (pooling-enabled) environment."""
+        grid, rng, ensemble, truth = _case(seed=33, members=10)
+        operator = IdentityObservation(grid.size, 1.0)
+        observation = operator.observe(truth, rng=rng)
+        a = EnSF(EnSFConfig(n_sde_steps=10, minibatch=4), rng=2).analyze(
+            ensemble, observation, operator
+        )
+        b = EnSF(EnSFConfig(n_sde_steps=10, minibatch=4), rng=2).analyze(
+            ensemble, observation, operator
+        )
+        np.testing.assert_array_equal(a, b)
 
 
 class TestFusedEnSFDeterminism:
